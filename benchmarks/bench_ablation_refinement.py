@@ -1,0 +1,63 @@
+"""Ablations of the refinement machinery: depth caps, axis policy, adaptivity.
+
+These are not figures of the paper; they quantify the design decisions
+DESIGN.md calls out (the kd-tree height trade-off of Section V and the
+"further heuristics for the refinement process" the paper lists as future
+work).
+"""
+
+from repro.experiments import (
+    ablation_adaptive_refinement,
+    ablation_axis_policy,
+    ablation_decomposition_depth,
+)
+
+
+def test_ablation_decomposition_depth(benchmark, report):
+    table = report(
+        benchmark,
+        ablation_decomposition_depth,
+        depths=(1, 2, 3, 4),
+        num_objects=1_000,
+        num_queries=3,
+        iterations=5,
+        seed=0,
+    )
+    uncertainties = table.column("uncertainty")
+    runtimes = table.column("runtime_seconds")
+    # deeper target/reference decompositions yield tighter bounds at higher cost
+    assert uncertainties == sorted(uncertainties, reverse=True)
+    assert runtimes[-1] > runtimes[0]
+
+
+def test_ablation_axis_policy(benchmark, report):
+    table = report(
+        benchmark,
+        ablation_axis_policy,
+        num_objects=1_000,
+        num_queries=3,
+        iterations=5,
+        seed=0,
+    )
+    # both policies produce valid refinements; neither degenerates
+    for row in table:
+        assert row["uncertainty"] >= 0.0
+        assert row["runtime_seconds"] > 0.0
+
+
+def test_ablation_adaptive_refinement(benchmark, report):
+    table = report(
+        benchmark,
+        ablation_adaptive_refinement,
+        thresholds=(0.0, 0.1, 0.25),
+        num_objects=1_000,
+        num_queries=3,
+        iterations=6,
+        seed=0,
+    )
+    rows = {row["threshold"]: row for row in table}
+    uniform = rows["uniform"]
+    # a permissive width budget refines fewer partitions than the uniform schedule
+    assert rows[0.25]["max_partitions"] <= uniform["max_partitions"]
+    # and the zero budget reproduces the uniform quality
+    assert rows[0.0]["uncertainty"] <= uniform["uncertainty"] + 1e-6

@@ -1,0 +1,23 @@
+"""Figure 5 — runtime of the Monte-Carlo comparison partner vs sample size.
+
+Paper: 10,000 synthetic objects, samples up to 1,500, runtimes of hundreds of
+seconds per query.  Scaled-down here; the property to reproduce is the steep
+(super-linear) growth of the MC runtime with the number of samples per object.
+"""
+
+from repro.experiments import figure5_mc_runtime
+
+
+def test_fig5_mc_runtime(benchmark, report):
+    table = report(
+        benchmark,
+        figure5_mc_runtime,
+        num_objects=60,
+        sample_sizes=(20, 40, 80, 160),
+        num_queries=1,
+        seed=0,
+    )
+    runtimes = table.column("runtime_per_query_seconds")
+    # monotone growth, and clearly super-linear from the first to the last point
+    assert all(b > a for a, b in zip(runtimes, runtimes[1:]))
+    assert runtimes[-1] > 4.0 * runtimes[0]

@@ -1,0 +1,27 @@
+"""Figure 6(b) — accumulated uncertainty per iteration: optimal vs MinMax.
+
+Paper: the optimal criterion starts with less accumulated uncertainty after
+the filter step (iteration 0) and stays below the MinMax variant in every
+subsequent refinement iteration; both decrease monotonically.
+"""
+
+from repro.experiments import figure6b_uncertainty_per_iteration
+
+
+def test_fig6b_uncertainty_per_iteration(benchmark, report):
+    table = report(
+        benchmark,
+        figure6b_uncertainty_per_iteration,
+        num_objects=2_000,
+        num_queries=3,
+        iterations=5,
+        seed=0,
+    )
+    optimal = table.column("optimal_uncertainty")
+    minmax = table.column("minmax_uncertainty")
+    # both curves decrease monotonically over the iterations
+    assert optimal == sorted(optimal, reverse=True)
+    assert minmax == sorted(minmax, reverse=True)
+    # the optimal criterion is never worse, and strictly better at iteration 0
+    assert all(o <= m + 1e-9 for o, m in zip(optimal, minmax))
+    assert optimal[0] <= minmax[0]

@@ -1,0 +1,57 @@
+"""Figure 7 — IDCA approximation quality vs fraction of the MC runtime.
+
+Paper: on synthetic data (7a) and the IIP iceberg data (7b), the average
+uncertainty per influence object drops rapidly within the first iterations
+while the invested runtime stays a small fraction of what the Monte-Carlo
+partner needs; only driving the uncertainty to exactly zero approaches (or
+exceeds) the MC runtime.
+"""
+
+from repro.experiments import figure7_uncertainty_vs_runtime
+
+
+def _check_shape(table):
+    strictly_improved = 0
+    for samples in set(table.column("samples")):
+        rows = [r for r in table if r["samples"] == samples]
+        uncertainties = [r["avg_uncertainty"] for r in rows]
+        fractions = [r["fraction_of_mc_runtime"] for r in rows]
+        # uncertainty decreases monotonically while the runtime fraction grows
+        assert uncertainties == sorted(uncertainties, reverse=True)
+        assert fractions == sorted(fractions)
+        # after a few iterations IDCA has spent well below the MC runtime
+        assert fractions[len(fractions) // 2] < 1.0
+        if uncertainties[-1] < uncertainties[0]:
+            strictly_improved += 1
+    # the refinement visibly reduces the uncertainty for the evaluated sample sizes
+    assert strictly_improved >= 1
+
+
+def test_fig7a_synthetic(benchmark, report):
+    table = report(
+        benchmark,
+        figure7_uncertainty_vs_runtime,
+        dataset="synthetic",
+        sample_sizes=(25, 50, 100),
+        num_objects=60,
+        max_extent=0.06,
+        iterations=5,
+        num_queries=2,
+        seed=0,
+    )
+    _check_shape(table)
+
+
+def test_fig7b_iip(benchmark, report):
+    table = report(
+        benchmark,
+        figure7_uncertainty_vs_runtime,
+        dataset="iip",
+        sample_sizes=(25, 50, 100),
+        num_objects=60,
+        max_extent=0.6,
+        iterations=5,
+        num_queries=2,
+        seed=0,
+    )
+    _check_shape(table)

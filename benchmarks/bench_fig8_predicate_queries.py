@@ -1,0 +1,28 @@
+"""Figure 8 — threshold predicate queries: IDCA vs MC runtime.
+
+Paper: queries of the form "is B among the k nearest neighbours of Q with
+probability tau" for k = 1..25 and tau in {0.25, 0.5, 0.75}.  Because IDCA can
+stop refining as soon as the predicate is decidable, its runtime stays orders
+of magnitude below the MC partner, for every k and tau.
+"""
+
+from repro.experiments import figure8_predicate_queries
+
+
+def test_fig8_predicate_queries(benchmark, report):
+    table = report(
+        benchmark,
+        figure8_predicate_queries,
+        k_values=(1, 5, 10),
+        taus=(0.25, 0.5, 0.75),
+        num_objects=60,
+        samples_per_object=50,
+        num_queries=2,
+        seed=0,
+    )
+    # IDCA beats MC for every (k, tau) combination
+    for row in table:
+        assert row["idca_seconds"] < row["mc_seconds"]
+    # and on average by a large factor
+    speedups = [row["mc_seconds"] / max(row["idca_seconds"], 1e-9) for row in table]
+    assert sum(speedups) / len(speedups) > 5.0

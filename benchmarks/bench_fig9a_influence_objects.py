@@ -1,0 +1,31 @@
+"""Figure 9(a) — runtime per iteration vs number of influence objects.
+
+Paper: the runtime of IDCA is governed by the number of influence objects,
+which grows with the distance between the query and the target object; the
+per-iteration runtime scales gracefully with that number.
+"""
+
+from collections import defaultdict
+
+from repro.experiments import figure9a_influence_objects
+
+
+def test_fig9a_influence_objects(benchmark, report):
+    table = report(
+        benchmark,
+        figure9a_influence_objects,
+        target_ranks=(1, 5, 10, 25, 50),
+        num_objects=5_000,
+        iterations=3,
+        seed=0,
+    )
+    per_rank = defaultdict(list)
+    for row in table:
+        per_rank[row["target_rank"]].append(row)
+    # more distant targets (larger rank) have at least as many influence objects
+    influence_by_rank = [rows[0]["num_influence"] for _, rows in sorted(per_rank.items())]
+    assert influence_by_rank == sorted(influence_by_rank)
+    # cumulative runtime grows with the iteration for every rank
+    for rows in per_rank.values():
+        times = [r["cumulative_seconds"] for r in rows]
+        assert times == sorted(times)

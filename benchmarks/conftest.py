@@ -1,0 +1,27 @@
+"""Shared configuration of the benchmark suite.
+
+Every benchmark regenerates one figure of the paper's evaluation (or one
+ablation) via the experiment functions in :mod:`repro.experiments.figures`,
+using scaled-down parameters so the whole suite completes within minutes on a
+laptop.  The resulting tables are printed so the rows can be compared against
+the paper's plots (see ``EXPERIMENTS.md``), and each run is timed by
+pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_and_report(benchmark, experiment, **kwargs):
+    """Execute an experiment exactly once under pytest-benchmark and print it."""
+    table = benchmark.pedantic(lambda: experiment(**kwargs), rounds=1, iterations=1)
+    print()
+    print(table.to_text())
+    return table
+
+
+@pytest.fixture
+def report():
+    """Fixture exposing :func:`run_and_report` to the benchmark modules."""
+    return run_and_report

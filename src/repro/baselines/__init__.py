@@ -1,0 +1,19 @@
+"""Baselines and oracles: Monte-Carlo partner, MinMax pruning, exact discrete oracle."""
+
+from .exact import exact_domination_count_pmf, exact_pdom
+from .expected_distance import ExpectedDistanceKNNResult, expected_distance_knn
+from .minmax import PruningComparison, compare_pruning_power, minmax_idca
+from .monte_carlo import MonteCarloDominationCount, MonteCarloResult, monte_carlo_pdom
+
+__all__ = [
+    "exact_domination_count_pmf",
+    "exact_pdom",
+    "ExpectedDistanceKNNResult",
+    "expected_distance_knn",
+    "PruningComparison",
+    "compare_pruning_power",
+    "minmax_idca",
+    "MonteCarloDominationCount",
+    "MonteCarloResult",
+    "monte_carlo_pdom",
+]

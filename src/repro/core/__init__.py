@@ -1,0 +1,53 @@
+"""Core contribution: domination bounds, uncertain generating functions, IDCA."""
+
+from .domination import (
+    CompleteDominationResult,
+    complete_domination_filter,
+    complete_domination_scan,
+    pdom_bounds,
+    pdom_bounds_from_partitions,
+    probabilistic_domination_bounds,
+)
+from .domination_count import (
+    DominationCountBounds,
+    combine_weighted_bounds,
+    domination_count_bounds,
+)
+from .generating_functions import (
+    UncertainGeneratingFunction,
+    poisson_binomial_pmf,
+    regular_gf_bounds,
+)
+from .idca import IDCA, IDCAResult, IterationStats
+from .stop_criteria import (
+    AnyOf,
+    MaxIterations,
+    NeverStop,
+    StopCriterion,
+    ThresholdDecision,
+    UncertaintyBelow,
+)
+
+__all__ = [
+    "CompleteDominationResult",
+    "complete_domination_filter",
+    "complete_domination_scan",
+    "pdom_bounds",
+    "pdom_bounds_from_partitions",
+    "probabilistic_domination_bounds",
+    "DominationCountBounds",
+    "combine_weighted_bounds",
+    "domination_count_bounds",
+    "UncertainGeneratingFunction",
+    "poisson_binomial_pmf",
+    "regular_gf_bounds",
+    "IDCA",
+    "IDCAResult",
+    "IterationStats",
+    "AnyOf",
+    "MaxIterations",
+    "NeverStop",
+    "StopCriterion",
+    "ThresholdDecision",
+    "UncertaintyBelow",
+]

@@ -1,0 +1,258 @@
+"""Probabilistic domination count (Section IV of the paper).
+
+The *domination count* ``DomCount(B, R)`` of an object ``B`` w.r.t. a
+reference object ``R`` is the random variable counting how many database
+objects are closer to ``R`` than ``B``.  This module turns per-object
+domination-probability bounds into bounds on the PMF and CDF of
+``DomCount(B, R)`` using the uncertain generating function, and aggregates the
+per-partition-pair results of the disjunctive-world refinement
+(Section IV-E).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .generating_functions import UncertainGeneratingFunction
+
+__all__ = ["DominationCountBounds", "domination_count_bounds", "combine_weighted_bounds"]
+
+
+@dataclass(frozen=True)
+class DominationCountBounds:
+    """Lower/upper bounds of the PMF of a domination count.
+
+    Attributes
+    ----------
+    lower, upper:
+        Arrays of identical length; ``lower[k] <= P(DomCount = k) <= upper[k]``
+        for every representable count ``k``.  When a truncation bound
+        ``k_cap`` was used, only entries ``k <= k_cap`` are meaningful (the
+        arrays are still full-length, with trivial ``[0, 1]`` bounds beyond
+        the cap).
+    k_cap:
+        The truncation bound used during construction, if any.
+    """
+
+    lower: np.ndarray
+    upper: np.ndarray
+    k_cap: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        lower = np.asarray(self.lower, dtype=float)
+        upper = np.asarray(self.upper, dtype=float)
+        if lower.shape != upper.shape or lower.ndim != 1:
+            raise ValueError("lower and upper must be 1-D arrays of equal length")
+        if np.any(lower > upper + 1e-9):
+            raise ValueError("lower bounds must not exceed upper bounds")
+        object.__setattr__(self, "lower", lower)
+        object.__setattr__(self, "upper", upper)
+
+    # ------------------------------------------------------------------ #
+    # views
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return int(self.lower.shape[0])
+
+    @property
+    def max_count(self) -> int:
+        """Largest representable domination count."""
+        return len(self) - 1
+
+    def _valid_k(self, k: int) -> None:
+        if k < 0:
+            raise ValueError("k must be non-negative")
+        if self.k_cap is not None and k > self.k_cap:
+            raise ValueError(f"count {k} exceeds the truncation bound k_cap={self.k_cap}")
+
+    def pmf_bounds(self, k: int) -> tuple[float, float]:
+        """Bounds of ``P(DomCount = k)``."""
+        self._valid_k(k)
+        if k >= len(self):
+            return 0.0, 0.0
+        return float(self.lower[k]), float(self.upper[k])
+
+    def cdf_bounds(self, k: int) -> tuple[float, float]:
+        """Bounds of ``P(DomCount <= k)``.
+
+        The bounds are derived from the PMF bounds while respecting that the
+        true PMF sums to 1: the lower CDF bound is the larger of the summed
+        lower bounds and ``1 -`` the upper mass above ``k`` (and dually for
+        the upper bound).
+        """
+        self._valid_k(k)
+        if k >= len(self) - 1:
+            return 1.0, 1.0
+        lower_sum = float(self.lower[: k + 1].sum())
+        upper_sum = float(self.upper[: k + 1].sum())
+        lower_tail = float(self.lower[k + 1 :].sum())
+        upper_tail = float(self.upper[k + 1 :].sum())
+        lower = max(lower_sum, 1.0 - upper_tail)
+        upper = min(upper_sum, 1.0 - lower_tail)
+        lower = min(max(lower, 0.0), 1.0)
+        upper = min(max(upper, lower), 1.0)
+        return lower, upper
+
+    def less_than(self, k: int) -> tuple[float, float]:
+        """Bounds of ``P(DomCount < k)`` — the kNN predicate of Corollary 4."""
+        if k <= 0:
+            return 0.0, 0.0
+        return self.cdf_bounds(k - 1)
+
+    def uncertainty(self) -> float:
+        """Total bound width ``sum_k (upper[k] - lower[k])``.
+
+        This is the "accumulated uncertainty" quality measure the paper plots
+        in Figures 6(b) and 7.
+        """
+        return float(np.sum(self.upper - self.lower))
+
+    def expected_count_bounds(self) -> tuple[float, float]:
+        """Bounds of ``E[DomCount]`` via the tail-sum formula.
+
+        ``E[X] = sum_{k >= 1} P(X >= k)`` with ``P(X >= k)`` bracketed by the
+        complementary CDF bounds.  Only available without truncation.
+        """
+        if self.k_cap is not None:
+            raise ValueError("expected-count bounds require an untruncated result")
+        lower_total = 0.0
+        upper_total = 0.0
+        for k in range(1, len(self)):
+            cdf_lower, cdf_upper = self.cdf_bounds(k - 1)
+            lower_total += 1.0 - cdf_upper
+            upper_total += 1.0 - cdf_lower
+        return lower_total, upper_total
+
+    def is_exact(self, tolerance: float = 1e-9) -> bool:
+        """True when the bounds have converged to a single PMF."""
+        return bool(np.all(self.upper - self.lower <= tolerance))
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def vacuous(length: int, k_cap: Optional[int] = None) -> "DominationCountBounds":
+        """The trivial bounds ``[0, 1]`` for every count."""
+        if length <= 0:
+            raise ValueError("length must be positive")
+        return DominationCountBounds(
+            lower=np.zeros(length), upper=np.ones(length), k_cap=k_cap
+        )
+
+    @staticmethod
+    def exact(pmf: Sequence[float]) -> "DominationCountBounds":
+        """Bounds that coincide with a known exact PMF."""
+        arr = np.asarray(pmf, dtype=float)
+        return DominationCountBounds(lower=arr.copy(), upper=arr.copy())
+
+
+def domination_count_bounds(
+    lower_probs: Sequence[float],
+    upper_probs: Sequence[float],
+    complete_count: int = 0,
+    total_objects: Optional[int] = None,
+    k_cap: Optional[int] = None,
+) -> DominationCountBounds:
+    """Build domination-count bounds from per-object domination bounds.
+
+    Parameters
+    ----------
+    lower_probs, upper_probs:
+        Bounds ``PDomLB(A_i, B, R)`` / ``PDomUB(A_i, B, R)`` for the influence
+        objects (Lemma 3 guarantees their mutual independence, which the UGF
+        requires).
+    complete_count:
+        Number of objects that completely dominate the target; the resulting
+        PMF bounds are shifted right by this amount (the ``ShiftRight`` step
+        of Algorithm 1).
+    total_objects:
+        Length of the output arrays minus one (defaults to
+        ``complete_count + len(lower_probs)``); pass the database size to get
+        bounds over the full count range.
+    k_cap:
+        Optional truncation bound *on the final (shifted) count* for kNN-style
+        predicates.  Counts above the cap get trivial ``[0, 1]`` bounds.
+    """
+    lower_arr = np.atleast_1d(np.asarray(lower_probs, dtype=float))
+    upper_arr = np.atleast_1d(np.asarray(upper_probs, dtype=float))
+    if lower_arr.shape != upper_arr.shape:
+        raise ValueError("lower_probs and upper_probs must have the same length")
+    if complete_count < 0:
+        raise ValueError("complete_count must be non-negative")
+
+    num_influence = lower_arr.shape[0]
+    if total_objects is None:
+        total_objects = complete_count + num_influence
+    if total_objects < complete_count + num_influence:
+        raise ValueError("total_objects too small for the given counts")
+    length = total_objects + 1
+
+    # effective truncation for the *unshifted* UGF
+    ugf_cap: Optional[int] = None
+    if k_cap is not None:
+        if k_cap < complete_count:
+            # every representable count below the cap is impossible anyway
+            ugf_cap = 0
+        else:
+            ugf_cap = min(num_influence, k_cap - complete_count)
+
+    ugf = UncertainGeneratingFunction(lower_arr, upper_arr, k_cap=ugf_cap)
+    pmf_lower, pmf_upper = ugf.pmf_bounds()
+
+    lower = np.zeros(length)
+    upper = np.ones(length)
+    # counts below the complete-domination count are impossible
+    upper[:complete_count] = 0.0
+    # counts above complete_count + num_influence are impossible as well
+    upper[complete_count + num_influence + 1 :] = 0.0
+
+    top = pmf_lower.shape[0]
+    lower[complete_count : complete_count + top] = pmf_lower
+    upper[complete_count : complete_count + top] = pmf_upper
+    if k_cap is not None:
+        # beyond the cap the bounds are intentionally vacuous
+        lower[k_cap + 1 :] = 0.0
+        upper[k_cap + 1 :] = np.where(
+            np.arange(k_cap + 1, length) <= complete_count + num_influence, 1.0, 0.0
+        )
+    return DominationCountBounds(lower=lower, upper=upper, k_cap=k_cap)
+
+
+def combine_weighted_bounds(
+    parts: Sequence[tuple[float, DominationCountBounds]],
+    k_cap: Optional[int] = None,
+) -> DominationCountBounds:
+    """Aggregate per-partition-pair bounds (Section IV-E).
+
+    Each element of ``parts`` is ``(weight, bounds)`` where ``weight`` is
+    ``P(B') * P(R')`` for the partition pair the bounds were computed under.
+    Because the partition pairs describe disjoint sets of possible worlds, the
+    weighted sums of the lower and upper PMF bounds are valid bounds for the
+    unconditioned domination count.
+    """
+    if not parts:
+        raise ValueError("parts must not be empty")
+    length = len(parts[0][1])
+    lower = np.zeros(length)
+    upper = np.zeros(length)
+    total_weight = 0.0
+    for weight, bounds in parts:
+        if len(bounds) != length:
+            raise ValueError("all parts must have the same length")
+        if weight < 0:
+            raise ValueError("weights must be non-negative")
+        lower += weight * bounds.lower
+        upper += weight * bounds.upper
+        total_weight += weight
+    if total_weight > 1.0 + 1e-9:
+        raise ValueError("partition-pair weights must not exceed 1")
+    # any missing weight (dropped zero-mass partitions) contributes vacuous
+    # bounds: nothing to the lower bounds, full mass to the upper bounds
+    missing = max(0.0, 1.0 - total_weight)
+    if missing > 1e-12:
+        upper += missing
+    upper = np.minimum(upper, 1.0)
+    return DominationCountBounds(lower=lower, upper=upper, k_cap=k_cap)

@@ -1,0 +1,360 @@
+"""IDCA — Iterative Domination Count Approximation (Algorithm 1).
+
+This is the paper's main algorithm.  Given an uncertain database, a target
+object ``B`` and a reference object ``R``, it
+
+1. classifies every database object with the complete-domination filter
+   (objects that always dominate ``B``, objects that never do, and the
+   *influence objects* whose relation is uncertain);
+2. iteratively decomposes ``B``, ``R`` and the influence objects one kd-tree
+   level at a time;
+3. in every iteration builds, for each pair of partitions ``(B', R')``, an
+   uncertain generating function over the per-influence-object domination
+   bounds, and combines the per-pair domination-count bounds weighted by
+   ``P(B') * P(R')`` (Section IV-E);
+4. stops as soon as the supplied stop criterion is satisfied (e.g. a threshold
+   predicate became decidable) or the iteration budget is exhausted.
+
+The result carries the final conservative/progressive PMF bounds of
+``DomCount(B, R)`` plus per-iteration statistics used by the experiments.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from ..geometry import DominationCriterion
+from ..uncertain import DecompositionTree, UncertainDatabase, UncertainObject
+from ..uncertain.decomposition import AxisPolicy
+from .domination import complete_domination_filter, pdom_bounds_from_partitions
+from .domination_count import (
+    DominationCountBounds,
+    combine_weighted_bounds,
+    domination_count_bounds,
+)
+from .stop_criteria import StopCriterion
+
+__all__ = ["IDCA", "IDCAResult", "IterationStats"]
+
+ObjectOrIndex = Union[UncertainObject, int, np.integer]
+
+
+@dataclass(frozen=True)
+class IterationStats:
+    """Statistics of one refinement iteration."""
+
+    iteration: int
+    uncertainty: float
+    elapsed_seconds: float
+    num_pairs: int
+    candidate_partitions: int
+
+
+@dataclass
+class IDCAResult:
+    """Outcome of one IDCA run.
+
+    Attributes
+    ----------
+    bounds:
+        Final PMF bounds of ``DomCount(B, R)``.
+    complete_count:
+        Number of objects that dominate the target in every possible world.
+    influence_indices:
+        Database indices of the influence objects that were refined.
+    pruned_count:
+        Number of objects that can never dominate the target.
+    iterations:
+        Per-iteration statistics (entry 0 describes the filter-only state).
+    decision:
+        Outcome of a threshold stop criterion, when one was supplied:
+        ``True`` (predicate holds), ``False`` (predicate violated) or ``None``
+        (undecided within the iteration budget).
+    """
+
+    bounds: DominationCountBounds
+    complete_count: int
+    influence_indices: np.ndarray
+    pruned_count: int
+    iterations: list[IterationStats] = field(default_factory=list)
+    decision: Optional[bool] = None
+
+    @property
+    def num_influence(self) -> int:
+        """Number of influence objects."""
+        return int(self.influence_indices.shape[0])
+
+    @property
+    def num_iterations(self) -> int:
+        """Number of refinement iterations actually executed."""
+        return max(0, len(self.iterations) - 1)
+
+    @property
+    def total_seconds(self) -> float:
+        """Total wall-clock time spent (filter step plus refinement)."""
+        return float(sum(stat.elapsed_seconds for stat in self.iterations))
+
+    def uncertainty(self) -> float:
+        """Accumulated uncertainty of the final bounds."""
+        return self.bounds.uncertainty()
+
+
+class IDCA:
+    """Iterative Domination Count Approximation driver.
+
+    Parameters
+    ----------
+    database:
+        The uncertain database the domination counts are computed against.
+    p:
+        ``Lp`` norm parameter of the distance function (finite, ``>= 1``).
+    criterion:
+        Complete-domination criterion: ``"optimal"`` (Corollary 1, default) or
+        ``"minmax"`` — the latter is the baseline of Figure 6.
+    axis_policy:
+        Split-axis policy of the kd-tree decomposition.
+    max_target_depth, max_reference_depth:
+        Caps on the decomposition depth of the target and reference objects;
+        the number of partition pairs per iteration is bounded by
+        ``2^max_target_depth * 2^max_reference_depth``.
+    max_candidate_depth:
+        Optional cap on the decomposition depth of influence objects
+        (the kd-tree height ``h`` of Section V).  ``None`` lets the depth grow
+        with the iteration number.
+    k_cap:
+        Optional truncation bound for kNN/RkNN predicates (Section VI): PMF
+        bounds are only maintained exactly for counts ``<= k_cap``.
+    adaptive_candidate_refinement:
+        When True, an influence object is only decomposed further while its
+        aggregated domination-probability bound width still exceeds
+        ``adaptive_width_threshold``.  This is the refinement heuristic the
+        paper lists as future work: effort concentrates on the objects that
+        still contribute uncertainty instead of splitting every object every
+        iteration.
+    adaptive_width_threshold:
+        Bound-width budget per influence object below which adaptive
+        refinement stops splitting that object.
+    """
+
+    def __init__(
+        self,
+        database: UncertainDatabase,
+        p: float = 2.0,
+        criterion: DominationCriterion = "optimal",
+        axis_policy: AxisPolicy = "round_robin",
+        max_target_depth: int = 3,
+        max_reference_depth: int = 3,
+        max_candidate_depth: Optional[int] = None,
+        k_cap: Optional[int] = None,
+        adaptive_candidate_refinement: bool = False,
+        adaptive_width_threshold: float = 0.01,
+    ):
+        if max_target_depth < 0 or max_reference_depth < 0:
+            raise ValueError("decomposition depth caps must be non-negative")
+        if max_candidate_depth is not None and max_candidate_depth < 1:
+            raise ValueError("max_candidate_depth must be at least 1")
+        if adaptive_width_threshold < 0:
+            raise ValueError("adaptive_width_threshold must be non-negative")
+        self.database = database
+        self.p = p
+        self.criterion = criterion
+        self.axis_policy = axis_policy
+        self.max_target_depth = max_target_depth
+        self.max_reference_depth = max_reference_depth
+        self.max_candidate_depth = max_candidate_depth
+        self.k_cap = k_cap
+        self.adaptive_candidate_refinement = adaptive_candidate_refinement
+        self.adaptive_width_threshold = adaptive_width_threshold
+        self._trees: dict[int, DecompositionTree] = {}
+
+    # ------------------------------------------------------------------ #
+    # helpers
+    # ------------------------------------------------------------------ #
+    def _tree_for(self, obj: UncertainObject) -> DecompositionTree:
+        """Decomposition tree of ``obj``, cached per object identity."""
+        key = id(obj)
+        tree = self._trees.get(key)
+        if tree is None:
+            tree = DecompositionTree(obj, axis_policy=self.axis_policy)
+            self._trees[key] = tree
+        return tree
+
+    def _resolve(
+        self, spec: ObjectOrIndex, exclude: set[int]
+    ) -> UncertainObject:
+        """Turn an object-or-index specification into an object.
+
+        Database indices are added to the exclusion set so an object never
+        counts towards its own domination count.
+        """
+        if isinstance(spec, (int, np.integer)):
+            index = int(spec)
+            if not 0 <= index < len(self.database):
+                raise IndexError(f"object index {index} out of range")
+            exclude.add(index)
+            return self.database[index]
+        return spec
+
+    # ------------------------------------------------------------------ #
+    # main entry point
+    # ------------------------------------------------------------------ #
+    def domination_count(
+        self,
+        target: ObjectOrIndex,
+        reference: ObjectOrIndex,
+        stop: Optional[StopCriterion] = None,
+        max_iterations: int = 10,
+        exclude_indices: Optional[Sequence[int]] = None,
+    ) -> IDCAResult:
+        """Approximate the PMF of ``DomCount(target, reference)``.
+
+        Parameters
+        ----------
+        target, reference:
+            Uncertain objects, or integer positions of database members.
+        stop:
+            Optional stop criterion evaluated after every iteration.
+        max_iterations:
+            Hard budget on the number of refinement iterations.
+        exclude_indices:
+            Additional database positions to ignore (on top of the positions
+            of ``target`` / ``reference`` when given as indices).
+        """
+        if max_iterations < 0:
+            raise ValueError("max_iterations must be non-negative")
+        exclude: set[int] = set(int(i) for i in exclude_indices) if exclude_indices else set()
+        target_obj = self._resolve(target, exclude)
+        reference_obj = self._resolve(reference, exclude)
+
+        start = time.perf_counter()
+        filter_result = complete_domination_filter(
+            self.database,
+            target_obj,
+            reference_obj,
+            exclude_indices=exclude,
+            p=self.p,
+            criterion=self.criterion,
+        )
+        complete_count = filter_result.complete_count
+        influence = filter_result.influence_indices
+        total_objects = len(self.database) - len(exclude)
+
+        bounds = domination_count_bounds(
+            np.zeros(influence.shape[0]),
+            np.ones(influence.shape[0]),
+            complete_count=complete_count,
+            total_objects=total_objects,
+            k_cap=self.k_cap,
+        )
+        iterations = [
+            IterationStats(
+                iteration=0,
+                uncertainty=bounds.uncertainty(),
+                elapsed_seconds=time.perf_counter() - start,
+                num_pairs=1,
+                candidate_partitions=1,
+            )
+        ]
+        result = IDCAResult(
+            bounds=bounds,
+            complete_count=complete_count,
+            influence_indices=influence,
+            pruned_count=int(filter_result.pruned_indices.shape[0]),
+            iterations=iterations,
+        )
+
+        decision_stop = stop
+        if decision_stop is not None and decision_stop.should_stop(bounds, 0):
+            result.decision = getattr(decision_stop, "decision", None)
+            return result
+        if influence.shape[0] == 0 or max_iterations == 0:
+            result.decision = getattr(decision_stop, "decision", None)
+            return result
+
+        target_tree = self._tree_for(target_obj)
+        reference_tree = self._tree_for(reference_obj)
+        influence_trees = [self._tree_for(self.database[int(i)]) for i in influence]
+        num_candidates = len(influence_trees)
+        candidate_depths = np.zeros(num_candidates, dtype=int)
+        previous_widths = np.full(num_candidates, np.inf)
+
+        for iteration in range(1, max_iterations + 1):
+            iter_start = time.perf_counter()
+            target_depth = min(iteration, self.max_target_depth)
+            reference_depth = min(iteration, self.max_reference_depth)
+            if self.adaptive_candidate_refinement:
+                # only objects that still contribute bound width get refined
+                candidate_depths[previous_widths > self.adaptive_width_threshold] += 1
+            else:
+                candidate_depths[:] = iteration
+            if self.max_candidate_depth is not None:
+                np.minimum(candidate_depths, self.max_candidate_depth, out=candidate_depths)
+
+            target_regions, target_masses = target_tree.partitions_arrays(target_depth)
+            reference_regions, reference_masses = reference_tree.partitions_arrays(
+                reference_depth
+            )
+            candidate_parts = [
+                tree.partitions_arrays(int(depth))
+                for tree, depth in zip(influence_trees, candidate_depths)
+            ]
+            max_candidate_partitions = max(
+                parts[0].shape[0] for parts in candidate_parts
+            )
+
+            pair_results: list[tuple[float, DominationCountBounds]] = []
+            widths = np.zeros(num_candidates)
+            for b_idx in range(target_regions.shape[0]):
+                for r_idx in range(reference_regions.shape[0]):
+                    weight = float(target_masses[b_idx] * reference_masses[r_idx])
+                    if weight <= 0.0:
+                        continue
+                    lower = np.empty(num_candidates)
+                    upper = np.empty(num_candidates)
+                    for c_idx, (regions, masses) in enumerate(candidate_parts):
+                        lower[c_idx], upper[c_idx] = pdom_bounds_from_partitions(
+                            regions,
+                            masses,
+                            target_regions[b_idx],
+                            reference_regions[r_idx],
+                            p=self.p,
+                            criterion=self.criterion,
+                        )
+                    widths += weight * (upper - lower)
+                    pair_results.append(
+                        (
+                            weight,
+                            domination_count_bounds(
+                                lower,
+                                upper,
+                                complete_count=complete_count,
+                                total_objects=total_objects,
+                                k_cap=self.k_cap,
+                            ),
+                        )
+                    )
+            previous_widths = widths
+
+            bounds = combine_weighted_bounds(pair_results, k_cap=self.k_cap)
+            result.bounds = bounds
+            result.iterations.append(
+                IterationStats(
+                    iteration=iteration,
+                    uncertainty=bounds.uncertainty(),
+                    elapsed_seconds=time.perf_counter() - iter_start,
+                    num_pairs=len(pair_results),
+                    candidate_partitions=max_candidate_partitions,
+                )
+            )
+
+            if decision_stop is not None and decision_stop.should_stop(bounds, iteration):
+                break
+            if bounds.is_exact():
+                break
+
+        result.decision = getattr(decision_stop, "decision", None)
+        return result

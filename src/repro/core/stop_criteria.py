@@ -1,0 +1,118 @@
+"""Stop criteria for the iterative refinement loop of IDCA (Algorithm 1).
+
+The main loop of Algorithm 1 runs "until a domain- and user-specific stop
+criterion is satisfied".  Different query types need different criteria —
+threshold queries can stop as soon as the predicate is decidable, ranking
+queries once the remaining uncertainty is below a budget — so criteria are
+modelled as small strategy objects sharing a single interface.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Sequence
+
+from .domination_count import DominationCountBounds
+
+__all__ = [
+    "StopCriterion",
+    "NeverStop",
+    "MaxIterations",
+    "UncertaintyBelow",
+    "ThresholdDecision",
+    "AnyOf",
+]
+
+
+class StopCriterion(abc.ABC):
+    """Decides after each IDCA iteration whether refinement may stop."""
+
+    @abc.abstractmethod
+    def should_stop(self, bounds: DominationCountBounds, iteration: int) -> bool:
+        """Return True when the current bounds are good enough."""
+
+
+class NeverStop(StopCriterion):
+    """Refine until the iteration budget of the IDCA driver is exhausted."""
+
+    def should_stop(self, bounds: DominationCountBounds, iteration: int) -> bool:
+        return False
+
+
+class MaxIterations(StopCriterion):
+    """Stop after a fixed number of refinement iterations."""
+
+    def __init__(self, iterations: int):
+        if iterations < 0:
+            raise ValueError("iterations must be non-negative")
+        self.iterations = iterations
+
+    def should_stop(self, bounds: DominationCountBounds, iteration: int) -> bool:
+        return iteration >= self.iterations
+
+
+class UncertaintyBelow(StopCriterion):
+    """Stop once the accumulated bound width drops below a budget.
+
+    The accumulated uncertainty ``sum_k (UB_k - LB_k)`` is the quality measure
+    of Figures 6(b) and 7; a budget of 0 therefore demands full convergence.
+    """
+
+    def __init__(self, budget: float):
+        if budget < 0:
+            raise ValueError("budget must be non-negative")
+        self.budget = budget
+
+    def should_stop(self, bounds: DominationCountBounds, iteration: int) -> bool:
+        return bounds.uncertainty() <= self.budget
+
+
+class ThresholdDecision(StopCriterion):
+    """Stop once a probabilistic threshold predicate is decidable.
+
+    The predicate is ``P(DomCount < k) >= tau`` (Corollaries 4 and 5: "is the
+    object a k-nearest neighbour of the reference with probability at least
+    ``tau``?").  Refinement can stop as soon as the lower bound of
+    ``P(DomCount < k)`` reaches ``tau`` (the object is a true hit) or its
+    upper bound falls below ``tau`` (true drop).
+
+    After the loop, :attr:`decision` holds ``True`` / ``False`` when the
+    predicate was decided and ``None`` when the iteration budget ran out
+    first — in that case the caller may still report the probability bounds
+    as a confidence interval, as discussed at the end of Section V.
+    """
+
+    def __init__(self, k: int, tau: float, strict: bool = False):
+        if k <= 0:
+            raise ValueError("k must be positive")
+        if not 0.0 <= tau <= 1.0:
+            raise ValueError("tau must be a probability")
+        self.k = k
+        self.tau = tau
+        self.strict = strict
+        self.decision: Optional[bool] = None
+        self.last_bounds: Optional[tuple[float, float]] = None
+
+    def should_stop(self, bounds: DominationCountBounds, iteration: int) -> bool:
+        lower, upper = bounds.less_than(self.k)
+        self.last_bounds = (lower, upper)
+        if (lower > self.tau) or (not self.strict and lower >= self.tau):
+            self.decision = True
+            return True
+        if (upper < self.tau) or (self.strict and upper <= self.tau):
+            self.decision = False
+            return True
+        self.decision = None
+        return False
+
+
+class AnyOf(StopCriterion):
+    """Composite criterion: stop when any member criterion is satisfied."""
+
+    def __init__(self, criteria: Sequence[StopCriterion]):
+        if not criteria:
+            raise ValueError("at least one criterion is required")
+        self.criteria = list(criteria)
+
+    def should_stop(self, bounds: DominationCountBounds, iteration: int) -> bool:
+        return any(criterion.should_stop(bounds, iteration) for criterion in self.criteria)

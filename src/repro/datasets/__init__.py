@@ -1,0 +1,33 @@
+"""Dataset and workload generators used by examples, tests and benchmarks."""
+
+from .iip import IIPSimulationConfig, iip_iceberg_database
+from .io import load_database, object_from_dict, object_to_dict, save_database
+from .synthetic import (
+    clustered_rectangle_database,
+    discrete_sample_database,
+    gaussian_object_database,
+    uniform_rectangle_database,
+)
+from .workloads import (
+    QueryPair,
+    generate_query_workload,
+    random_reference_object,
+    target_by_mindist_rank,
+)
+
+__all__ = [
+    "IIPSimulationConfig",
+    "iip_iceberg_database",
+    "load_database",
+    "object_from_dict",
+    "object_to_dict",
+    "save_database",
+    "clustered_rectangle_database",
+    "discrete_sample_database",
+    "gaussian_object_database",
+    "uniform_rectangle_database",
+    "QueryPair",
+    "generate_query_workload",
+    "random_reference_object",
+    "target_by_mindist_rank",
+]

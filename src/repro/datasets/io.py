@@ -1,0 +1,141 @@
+"""Persistence of uncertain databases (JSON-based interchange format).
+
+Real deployments need to move uncertain databases between systems; this module
+defines a small, self-describing JSON format and symmetric ``save_database`` /
+``load_database`` functions covering every object model shipped with the
+library (box-uniform, truncated Gaussian, discrete, histogram and mixtures
+thereof).  The format stores distribution *parameters*, not samples, so a
+round-trip is loss-free.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from ..geometry import Rectangle
+from ..uncertain import (
+    BoxUniformObject,
+    DiscreteObject,
+    HistogramObject,
+    MixtureObject,
+    TruncatedGaussianObject,
+    UncertainDatabase,
+    UncertainObject,
+)
+
+__all__ = ["object_to_dict", "object_from_dict", "save_database", "load_database"]
+
+FORMAT_VERSION = 1
+
+
+def object_to_dict(obj: UncertainObject) -> dict[str, Any]:
+    """Serialise one uncertain object into a JSON-compatible dictionary."""
+    common = {
+        "label": obj.label,
+        "existence_probability": obj.existence_probability,
+    }
+    if isinstance(obj, DiscreteObject):
+        return {
+            "type": "discrete",
+            "points": obj.points.tolist(),
+            "weights": (obj.weights / obj.weights.sum()).tolist(),
+            **common,
+        }
+    if isinstance(obj, BoxUniformObject):
+        return {
+            "type": "box_uniform",
+            "lows": obj.mbr.lows.tolist(),
+            "highs": obj.mbr.highs.tolist(),
+            **common,
+        }
+    if isinstance(obj, TruncatedGaussianObject):
+        return {
+            "type": "truncated_gaussian",
+            "mean": obj._mean.tolist(),
+            "std": obj._std.tolist(),
+            "lows": obj.mbr.lows.tolist(),
+            "highs": obj.mbr.highs.tolist(),
+            **common,
+        }
+    if isinstance(obj, HistogramObject):
+        return {
+            "type": "histogram",
+            "edges": [marginal.edges.tolist() for marginal in obj._marginals],
+            "masses": [marginal.masses.tolist() for marginal in obj._marginals],
+            **common,
+        }
+    if isinstance(obj, MixtureObject):
+        return {
+            "type": "mixture",
+            "weights": obj.weights.tolist(),
+            "components": [object_to_dict(component) for component in obj.components],
+            **common,
+        }
+    raise TypeError(f"cannot serialise objects of type {type(obj).__name__}")
+
+
+def object_from_dict(data: dict[str, Any]) -> UncertainObject:
+    """Reconstruct an uncertain object from its dictionary representation."""
+    kind = data.get("type")
+    label = data.get("label")
+    existence = float(data.get("existence_probability", 1.0))
+    if kind == "discrete":
+        return DiscreteObject(
+            data["points"],
+            data["weights"],
+            label=label,
+            existence_probability=existence,
+        )
+    if kind == "box_uniform":
+        return BoxUniformObject(
+            Rectangle.from_bounds(data["lows"], data["highs"]),
+            label=label,
+            existence_probability=existence,
+        )
+    if kind == "truncated_gaussian":
+        return TruncatedGaussianObject(
+            data["mean"],
+            data["std"],
+            bounds=Rectangle.from_bounds(data["lows"], data["highs"]),
+            label=label,
+            existence_probability=existence,
+        )
+    if kind == "histogram":
+        return HistogramObject(
+            data["edges"],
+            data["masses"],
+            label=label,
+            existence_probability=existence,
+        )
+    if kind == "mixture":
+        return MixtureObject(
+            [object_from_dict(component) for component in data["components"]],
+            data["weights"],
+            label=label,
+            existence_probability=existence,
+        )
+    raise ValueError(f"unknown object type {kind!r}")
+
+
+def save_database(database: UncertainDatabase, path: str | Path) -> None:
+    """Write a database to a JSON file."""
+    payload = {
+        "format_version": FORMAT_VERSION,
+        "dimensions": database.dimensions,
+        "objects": [object_to_dict(obj) for obj in database],
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_database(path: str | Path) -> UncertainDatabase:
+    """Read a database previously written by :func:`save_database`."""
+    payload = json.loads(Path(path).read_text())
+    version = payload.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported database format version: {version!r}")
+    objects = [object_from_dict(entry) for entry in payload.get("objects", [])]
+    if not objects:
+        raise ValueError("the database file contains no objects")
+    return UncertainDatabase(objects)

@@ -1,0 +1,37 @@
+"""Experiment harness and per-figure reproductions of the paper's evaluation."""
+
+from .harness import ExperimentTable
+from .figures import (
+    ablation_ugf_truncation,
+    ablation_ugf_vs_regular_gf,
+    figure5_mc_runtime,
+    figure6a_pruning_power,
+    figure6b_uncertainty_per_iteration,
+    figure7_uncertainty_vs_runtime,
+    figure8_predicate_queries,
+    figure9a_influence_objects,
+    figure9b_database_size,
+)
+from .ablations import (
+    ablation_adaptive_refinement,
+    ablation_axis_policy,
+    ablation_decomposition_depth,
+    ablation_expected_distance_agreement,
+)
+
+__all__ = [
+    "ExperimentTable",
+    "ablation_ugf_truncation",
+    "ablation_ugf_vs_regular_gf",
+    "ablation_adaptive_refinement",
+    "ablation_axis_policy",
+    "ablation_decomposition_depth",
+    "ablation_expected_distance_agreement",
+    "figure5_mc_runtime",
+    "figure6a_pruning_power",
+    "figure6b_uncertainty_per_iteration",
+    "figure7_uncertainty_vs_runtime",
+    "figure8_predicate_queries",
+    "figure9a_influence_objects",
+    "figure9b_database_size",
+]

@@ -1,0 +1,220 @@
+"""Ablation experiments for the design choices called out in DESIGN.md.
+
+These go beyond the paper's figures: they quantify the impact of the
+decomposition depth caps, the split-axis policy, the adaptive candidate
+refinement heuristic (the paper's "future work" item) and the semantic gap of
+the expected-distance shortcut.  Each function returns an
+:class:`~repro.experiments.harness.ExperimentTable` and is exercised both by a
+benchmark and by the test suite.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Sequence
+
+import numpy as np
+
+from ..baselines import expected_distance_knn
+from ..core import IDCA, MaxIterations
+from ..datasets import generate_query_workload, uniform_rectangle_database
+from ..queries import probabilistic_knn_threshold
+from .harness import ExperimentTable
+
+__all__ = [
+    "ablation_decomposition_depth",
+    "ablation_axis_policy",
+    "ablation_adaptive_refinement",
+    "ablation_expected_distance_agreement",
+]
+
+
+def ablation_decomposition_depth(
+    depths: Sequence[int] = (1, 2, 3, 4),
+    num_objects: int = 1_000,
+    max_extent: float = 0.01,
+    iterations: int = 5,
+    num_queries: int = 3,
+    target_rank: int = 10,
+    seed: int = 0,
+) -> ExperimentTable:
+    """Quality/cost trade-off of the target/reference decomposition depth cap.
+
+    The paper discusses the kd-tree height ``h`` as a trade-off between
+    approximation quality and efficiency (Section V); this ablation varies the
+    cap on the target and reference decomposition and reports the final
+    accumulated uncertainty and the runtime.
+    """
+    table = ExperimentTable(
+        name="ablation_decomposition_depth",
+        description="uncertainty and runtime vs target/reference depth cap",
+        columns=("depth_cap", "uncertainty", "runtime_seconds"),
+    )
+    database = uniform_rectangle_database(num_objects, max_extent=max_extent, seed=seed)
+    workload = generate_query_workload(
+        database, num_queries=num_queries, target_rank=target_rank, seed=seed
+    )
+    for depth in depths:
+        idca = IDCA(database, max_target_depth=depth, max_reference_depth=depth)
+        start = time.perf_counter()
+        uncertainty = 0.0
+        for pair in workload:
+            run = idca.domination_count(
+                pair.target_index,
+                pair.reference,
+                stop=MaxIterations(iterations),
+                max_iterations=iterations,
+            )
+            uncertainty += run.bounds.uncertainty()
+        table.add_row(
+            depth_cap=depth,
+            uncertainty=uncertainty / len(workload),
+            runtime_seconds=(time.perf_counter() - start) / len(workload),
+        )
+    return table
+
+
+def ablation_axis_policy(
+    num_objects: int = 1_000,
+    max_extent: float = 0.01,
+    iterations: int = 5,
+    num_queries: int = 3,
+    target_rank: int = 10,
+    seed: int = 0,
+) -> ExperimentTable:
+    """Round-robin vs widest-extent split-axis policy of the decomposition."""
+    table = ExperimentTable(
+        name="ablation_axis_policy",
+        description="final uncertainty per split-axis policy",
+        columns=("policy", "uncertainty", "runtime_seconds"),
+    )
+    database = uniform_rectangle_database(num_objects, max_extent=max_extent, seed=seed)
+    workload = generate_query_workload(
+        database, num_queries=num_queries, target_rank=target_rank, seed=seed
+    )
+    for policy in ("round_robin", "widest"):
+        idca = IDCA(database, axis_policy=policy)
+        start = time.perf_counter()
+        uncertainty = 0.0
+        for pair in workload:
+            run = idca.domination_count(
+                pair.target_index,
+                pair.reference,
+                stop=MaxIterations(iterations),
+                max_iterations=iterations,
+            )
+            uncertainty += run.bounds.uncertainty()
+        table.add_row(
+            policy=policy,
+            uncertainty=uncertainty / len(workload),
+            runtime_seconds=(time.perf_counter() - start) / len(workload),
+        )
+    return table
+
+
+def ablation_adaptive_refinement(
+    thresholds: Sequence[float] = (0.0, 0.1, 0.25),
+    num_objects: int = 1_000,
+    max_extent: float = 0.02,
+    iterations: int = 6,
+    num_queries: int = 3,
+    target_rank: int = 10,
+    seed: int = 0,
+) -> ExperimentTable:
+    """Adaptive candidate refinement vs the uniform schedule.
+
+    The row with ``threshold = uniform`` is the paper's Algorithm 1 (split
+    every influence object every iteration); the other rows refine an object
+    only while its aggregated bound width exceeds the threshold.
+    """
+    table = ExperimentTable(
+        name="ablation_adaptive_refinement",
+        description="uncertainty, partitions and runtime of adaptive refinement",
+        columns=("threshold", "uncertainty", "max_partitions", "runtime_seconds"),
+    )
+    database = uniform_rectangle_database(num_objects, max_extent=max_extent, seed=seed)
+    workload = generate_query_workload(
+        database, num_queries=num_queries, target_rank=target_rank, seed=seed
+    )
+
+    def run_config(idca: IDCA) -> tuple[float, float, float]:
+        start = time.perf_counter()
+        uncertainty = 0.0
+        partitions = 0
+        for pair in workload:
+            run = idca.domination_count(
+                pair.target_index,
+                pair.reference,
+                stop=MaxIterations(iterations),
+                max_iterations=iterations,
+            )
+            uncertainty += run.bounds.uncertainty()
+            partitions = max(partitions, run.iterations[-1].candidate_partitions)
+        elapsed = (time.perf_counter() - start) / len(workload)
+        return uncertainty / len(workload), partitions, elapsed
+
+    uncertainty, partitions, runtime = run_config(IDCA(database))
+    table.add_row(
+        threshold="uniform",
+        uncertainty=uncertainty,
+        max_partitions=partitions,
+        runtime_seconds=runtime,
+    )
+    for threshold in thresholds:
+        uncertainty, partitions, runtime = run_config(
+            IDCA(
+                database,
+                adaptive_candidate_refinement=True,
+                adaptive_width_threshold=threshold,
+            )
+        )
+        table.add_row(
+            threshold=threshold,
+            uncertainty=uncertainty,
+            max_partitions=partitions,
+            runtime_seconds=runtime,
+        )
+    return table
+
+
+def ablation_expected_distance_agreement(
+    num_objects: int = 300,
+    max_extent: float = 0.05,
+    k: int = 5,
+    tau: float = 0.5,
+    num_queries: int = 5,
+    max_iterations: int = 6,
+    seed: int = 0,
+) -> ExperimentTable:
+    """How often the expected-distance shortcut disagrees with the semantics.
+
+    For every query the probabilistic threshold kNN answer (possible-world
+    semantics) is compared against the top-k by expected distance; the table
+    reports the per-query sizes of the two answers and of their symmetric
+    difference.  Non-zero differences are the motivation for the paper's
+    approach.
+    """
+    table = ExperimentTable(
+        name="ablation_expected_distance_agreement",
+        description="probabilistic kNN answer vs expected-distance top-k",
+        columns=("query", "probabilistic_size", "heuristic_size", "symmetric_difference"),
+    )
+    database = uniform_rectangle_database(num_objects, max_extent=max_extent, seed=seed)
+    rng = np.random.default_rng(seed)
+    for q in range(num_queries):
+        query_index = int(rng.integers(0, num_objects))
+        probabilistic = probabilistic_knn_threshold(
+            database, query_index, k=k, tau=tau, max_iterations=max_iterations
+        )
+        heuristic = expected_distance_knn(database, query_index, k=k)
+        prob_set = set(probabilistic.result_indices()) | {
+            m.index for m in probabilistic.undecided
+        }
+        heur_set = set(heuristic.result_indices())
+        table.add_row(
+            query=q,
+            probabilistic_size=len(prob_set),
+            heuristic_size=len(heur_set),
+            symmetric_difference=len(prob_set ^ heur_set),
+        )
+    return table

@@ -1,0 +1,499 @@
+"""Per-figure experiment implementations (Section VII of the paper).
+
+Every public function reproduces one figure of the paper's evaluation and
+returns an :class:`~repro.experiments.harness.ExperimentTable` whose rows are
+the plotted points.  The default parameters are scaled down so the whole
+suite runs on a laptop within seconds; the docstring of every function states
+the parameters the paper used.  Absolute runtimes differ from the paper's
+testbed — the benchmarks compare *shapes* (who wins, how trends evolve), which
+is what ``EXPERIMENTS.md`` records.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..baselines import MonteCarloDominationCount, compare_pruning_power
+from ..core import IDCA, MaxIterations, ThresholdDecision
+from ..core.generating_functions import (
+    UncertainGeneratingFunction,
+    regular_gf_bounds,
+)
+from ..datasets import (
+    IIPSimulationConfig,
+    generate_query_workload,
+    iip_iceberg_database,
+    uniform_rectangle_database,
+)
+from ..uncertain import UncertainDatabase, discretise_database
+from .harness import ExperimentTable
+
+__all__ = [
+    "figure5_mc_runtime",
+    "figure6a_pruning_power",
+    "figure6b_uncertainty_per_iteration",
+    "figure7_uncertainty_vs_runtime",
+    "figure8_predicate_queries",
+    "figure9a_influence_objects",
+    "figure9b_database_size",
+    "ablation_ugf_vs_regular_gf",
+    "ablation_ugf_truncation",
+]
+
+
+def _average_uncertainty(idca_result) -> float:
+    """Average bound width per influence object (the Figure 7 quality metric)."""
+    influence = max(1, idca_result.num_influence)
+    return idca_result.bounds.uncertainty() / influence
+
+
+# ---------------------------------------------------------------------- #
+# Figure 5 — runtime of the Monte-Carlo partner vs sample size
+# ---------------------------------------------------------------------- #
+def figure5_mc_runtime(
+    num_objects: int = 60,
+    sample_sizes: Sequence[int] = (25, 50, 100, 200),
+    num_queries: int = 2,
+    max_extent: float = 0.004,
+    target_rank: int = 10,
+    seed: int = 0,
+) -> ExperimentTable:
+    """Runtime of the MC comparison partner for increasing sample size.
+
+    Paper setting: 10,000 synthetic objects, 100 queries, sample sizes up to
+    1,500 — producing runtimes of several hundred seconds per query.  The
+    scaled-down defaults keep the same growth behaviour observable within
+    seconds.
+    """
+    table = ExperimentTable(
+        name="figure_5",
+        description="MC runtime per query vs number of samples per object",
+        columns=("samples", "runtime_per_query_seconds"),
+    )
+    database = uniform_rectangle_database(num_objects, max_extent=max_extent, seed=seed)
+    workload = generate_query_workload(
+        database, num_queries=num_queries, target_rank=target_rank, seed=seed
+    )
+    for samples in sample_sizes:
+        mc = MonteCarloDominationCount(database, samples_per_object=samples, seed=seed)
+        elapsed = 0.0
+        for pair in workload:
+            result = mc.domination_count_pmf(pair.target_index, pair.reference)
+            elapsed += result.elapsed_seconds
+        table.add_row(samples=samples, runtime_per_query_seconds=elapsed / len(workload))
+    return table
+
+
+# ---------------------------------------------------------------------- #
+# Figure 6(a) — pruning power: optimal vs MinMax criterion
+# ---------------------------------------------------------------------- #
+def figure6a_pruning_power(
+    max_extents: Sequence[float] = (0.0005, 0.002, 0.004, 0.006, 0.008, 0.01),
+    num_objects: int = 2_000,
+    num_queries: int = 5,
+    target_rank: int = 10,
+    seed: int = 0,
+) -> ExperimentTable:
+    """Candidates remaining after spatial pruning, optimal vs MinMax.
+
+    Paper setting: 10,000 objects, 100 queries, extents from 0 to 0.01; the
+    optimal criterion prunes roughly 20% more candidates than MinMax.
+    """
+    table = ExperimentTable(
+        name="figure_6a",
+        description="influence objects after the filter step vs max object extent",
+        columns=("max_extent", "optimal_candidates", "minmax_candidates"),
+    )
+    for extent in max_extents:
+        database = uniform_rectangle_database(num_objects, max_extent=extent, seed=seed)
+        workload = generate_query_workload(
+            database, num_queries=num_queries, target_rank=target_rank, seed=seed
+        )
+        optimal_counts = []
+        minmax_counts = []
+        for pair in workload:
+            comparison = compare_pruning_power(
+                database,
+                database[pair.target_index],
+                pair.reference,
+                exclude_indices=[pair.target_index],
+            )
+            optimal_counts.append(comparison.optimal_candidates)
+            minmax_counts.append(comparison.minmax_candidates)
+        table.add_row(
+            max_extent=extent,
+            optimal_candidates=float(np.mean(optimal_counts)),
+            minmax_candidates=float(np.mean(minmax_counts)),
+        )
+    return table
+
+
+# ---------------------------------------------------------------------- #
+# Figure 6(b) — accumulated uncertainty per iteration, optimal vs MinMax
+# ---------------------------------------------------------------------- #
+def figure6b_uncertainty_per_iteration(
+    num_objects: int = 2_000,
+    max_extent: float = 0.004,
+    num_queries: int = 3,
+    iterations: int = 6,
+    target_rank: int = 10,
+    seed: int = 0,
+) -> ExperimentTable:
+    """Accumulated uncertainty of the result after each refinement iteration.
+
+    Paper setting: 10,000 objects; iteration 0 corresponds to the filter step
+    only.  Both criteria converge to zero uncertainty; the optimal criterion
+    starts lower and stays lower.
+    """
+    table = ExperimentTable(
+        name="figure_6b",
+        description="accumulated domination-count uncertainty per iteration",
+        columns=("iteration", "optimal_uncertainty", "minmax_uncertainty"),
+    )
+    database = uniform_rectangle_database(num_objects, max_extent=max_extent, seed=seed)
+    workload = generate_query_workload(
+        database, num_queries=num_queries, target_rank=target_rank, seed=seed
+    )
+    per_iteration: dict[str, np.ndarray] = {}
+    for criterion in ("optimal", "minmax"):
+        idca = IDCA(database, criterion=criterion)
+        totals = np.zeros(iterations + 1)
+        for pair in workload:
+            run = idca.domination_count(
+                pair.target_index,
+                pair.reference,
+                stop=MaxIterations(iterations),
+                max_iterations=iterations,
+            )
+            history = [stat.uncertainty for stat in run.iterations]
+            # pad with the final value when IDCA converged early
+            while len(history) < iterations + 1:
+                history.append(history[-1])
+            totals += np.asarray(history[: iterations + 1])
+        per_iteration[criterion] = totals / len(workload)
+    for iteration in range(iterations + 1):
+        table.add_row(
+            iteration=iteration,
+            optimal_uncertainty=float(per_iteration["optimal"][iteration]),
+            minmax_uncertainty=float(per_iteration["minmax"][iteration]),
+        )
+    return table
+
+
+# ---------------------------------------------------------------------- #
+# Figure 7 — IDCA uncertainty vs fraction of the MC runtime
+# ---------------------------------------------------------------------- #
+def figure7_uncertainty_vs_runtime(
+    dataset: str = "synthetic",
+    sample_sizes: Sequence[int] = (25, 50, 100),
+    num_objects: int = 60,
+    max_extent: float = 0.004,
+    iterations: int = 6,
+    target_rank: int = 10,
+    num_queries: int = 2,
+    seed: int = 0,
+) -> ExperimentTable:
+    """Average uncertainty of IDCA as a function of the relative runtime to MC.
+
+    Paper setting: synthetic data with 10,000 objects (Figure 7(a)) and the
+    IIP iceberg data with 6,216 objects (Figure 7(b)), sample sizes 100, 500
+    and 1000.  Both IDCA and MC operate on the identical discretised objects,
+    exactly as described in Section VII-A, so the comparison is fair.
+    """
+    if dataset == "synthetic":
+        base = uniform_rectangle_database(num_objects, max_extent=max_extent, seed=seed)
+    elif dataset == "iip":
+        # the IIP simulation normalises extents to its own maximum; scale it with
+        # the requested max_extent so scaled-down runs keep a comparable density
+        config = IIPSimulationConfig(
+            num_objects=num_objects, max_extent=max_extent / 10.0, seed=seed
+        )
+        base = iip_iceberg_database(config)
+    else:
+        raise ValueError("dataset must be 'synthetic' or 'iip'")
+
+    table = ExperimentTable(
+        name=f"figure_7_{dataset}",
+        description="avg. influence-object uncertainty vs fraction of MC runtime",
+        columns=("samples", "iteration", "fraction_of_mc_runtime", "avg_uncertainty"),
+    )
+    workload = generate_query_workload(
+        base, num_queries=num_queries, target_rank=target_rank, seed=seed
+    )
+    for samples in sample_sizes:
+        rng = np.random.default_rng(seed)
+        discrete = discretise_database(base, samples, rng)
+        mc = MonteCarloDominationCount(discrete, samples_per_object=samples, seed=seed)
+        idca = IDCA(discrete)
+        mc_time = 0.0
+        idca_time = np.zeros(iterations + 1)
+        uncertainty = np.zeros(iterations + 1)
+        for pair in workload:
+            mc_result = mc.domination_count_pmf(pair.target_index, pair.reference)
+            mc_time += mc_result.elapsed_seconds
+            run = idca.domination_count(
+                pair.target_index,
+                pair.reference,
+                stop=MaxIterations(iterations),
+                max_iterations=iterations,
+            )
+            history_unc = [stat.uncertainty for stat in run.iterations]
+            history_time = np.cumsum([stat.elapsed_seconds for stat in run.iterations])
+            influence = max(1, run.num_influence)
+            while len(history_unc) < iterations + 1:
+                history_unc.append(history_unc[-1])
+                history_time = np.append(history_time, history_time[-1])
+            uncertainty += np.asarray(history_unc[: iterations + 1]) / influence
+            idca_time += history_time[: iterations + 1]
+        mc_time = max(mc_time, 1e-12)
+        for iteration in range(iterations + 1):
+            table.add_row(
+                samples=samples,
+                iteration=iteration,
+                fraction_of_mc_runtime=float(idca_time[iteration] / mc_time),
+                avg_uncertainty=float(uncertainty[iteration] / len(workload)),
+            )
+    return table
+
+
+# ---------------------------------------------------------------------- #
+# Figure 8 — threshold predicate queries: IDCA vs MC runtime
+# ---------------------------------------------------------------------- #
+def figure8_predicate_queries(
+    k_values: Sequence[int] = (1, 5, 10),
+    taus: Sequence[float] = (0.25, 0.5, 0.75),
+    num_objects: int = 60,
+    samples_per_object: int = 50,
+    max_extent: float = 0.004,
+    num_queries: int = 2,
+    target_rank: int = 10,
+    max_iterations: int = 10,
+    seed: int = 0,
+) -> ExperimentTable:
+    """Runtime of predicate queries "is B a kNN of Q with probability tau?".
+
+    Paper setting: k from 1 to 25, tau in {0.25, 0.5, 0.75}, 10,000 objects
+    with 1,000 samples each; IDCA terminates the refinement early once the
+    predicate is decidable and is orders of magnitude faster than MC.
+    """
+    base = uniform_rectangle_database(num_objects, max_extent=max_extent, seed=seed)
+    rng = np.random.default_rng(seed)
+    discrete = discretise_database(base, samples_per_object, rng)
+    workload = generate_query_workload(
+        discrete, num_queries=num_queries, target_rank=target_rank, seed=seed
+    )
+    mc = MonteCarloDominationCount(discrete, samples_per_object=samples_per_object, seed=seed)
+
+    table = ExperimentTable(
+        name="figure_8",
+        description="runtime of threshold kNN predicate evaluation: IDCA vs MC",
+        columns=("k", "tau", "idca_seconds", "mc_seconds"),
+    )
+    mc_times: dict[int, float] = {}
+    for k in k_values:
+        # MC always computes the full PMF; its cost is independent of tau
+        elapsed = 0.0
+        for pair in workload:
+            result = mc.domination_count_pmf(pair.target_index, pair.reference, k_cap=k)
+            elapsed += result.elapsed_seconds
+        mc_times[k] = elapsed / len(workload)
+    for k in k_values:
+        for tau in taus:
+            idca = IDCA(discrete, k_cap=k)
+            start = time.perf_counter()
+            for pair in workload:
+                idca.domination_count(
+                    pair.target_index,
+                    pair.reference,
+                    stop=ThresholdDecision(k=k, tau=tau),
+                    max_iterations=max_iterations,
+                )
+            elapsed = (time.perf_counter() - start) / len(workload)
+            table.add_row(k=k, tau=tau, idca_seconds=elapsed, mc_seconds=mc_times[k])
+    return table
+
+
+# ---------------------------------------------------------------------- #
+# Figure 9(a) — runtime vs number of influence objects
+# ---------------------------------------------------------------------- #
+def figure9a_influence_objects(
+    target_ranks: Sequence[int] = (1, 5, 10, 25, 50),
+    num_objects: int = 5_000,
+    max_extent: float = 0.002,
+    iterations: int = 4,
+    seed: int = 0,
+) -> ExperimentTable:
+    """Per-iteration runtime as the number of influence objects grows.
+
+    The paper varies the distance between the query and the target object,
+    which directly controls how many objects remain uncertain after the filter
+    step; we vary the MinDist rank of the chosen target for the same effect.
+    """
+    database = uniform_rectangle_database(num_objects, max_extent=max_extent, seed=seed)
+    table = ExperimentTable(
+        name="figure_9a",
+        description="cumulative runtime per iteration vs number of influence objects",
+        columns=("target_rank", "num_influence", "iteration", "cumulative_seconds"),
+    )
+    workload = generate_query_workload(database, num_queries=1, target_rank=1, seed=seed)
+    reference = workload[0].reference
+    idca = IDCA(database)
+    for rank in target_ranks:
+        from ..datasets import target_by_mindist_rank
+
+        target = target_by_mindist_rank(database, reference, rank=rank)
+        run = idca.domination_count(
+            target,
+            reference,
+            stop=MaxIterations(iterations),
+            max_iterations=iterations,
+        )
+        cumulative = 0.0
+        for stat in run.iterations:
+            cumulative += stat.elapsed_seconds
+            table.add_row(
+                target_rank=rank,
+                num_influence=run.num_influence,
+                iteration=stat.iteration,
+                cumulative_seconds=cumulative,
+            )
+    return table
+
+
+# ---------------------------------------------------------------------- #
+# Figure 9(b) — runtime vs database size
+# ---------------------------------------------------------------------- #
+def figure9b_database_size(
+    database_sizes: Sequence[int] = (2_000, 4_000, 6_000, 8_000, 10_000),
+    max_extent: float = 0.002,
+    iterations: int = 4,
+    target_rank: int = 10,
+    seed: int = 0,
+) -> ExperimentTable:
+    """Per-iteration runtime for growing database sizes.
+
+    Paper setting: 20,000 to 100,000 objects with maximum extent 0.002; the
+    runtime is dominated by the number of influence objects, not the raw
+    database size, so IDCA scales gracefully.
+    """
+    table = ExperimentTable(
+        name="figure_9b",
+        description="cumulative runtime per iteration vs database size",
+        columns=("database_size", "num_influence", "iteration", "cumulative_seconds"),
+    )
+    for size in database_sizes:
+        database = uniform_rectangle_database(size, max_extent=max_extent, seed=seed)
+        workload = generate_query_workload(
+            database, num_queries=1, target_rank=target_rank, seed=seed
+        )
+        idca = IDCA(database)
+        run = idca.domination_count(
+            workload[0].target_index,
+            workload[0].reference,
+            stop=MaxIterations(iterations),
+            max_iterations=iterations,
+        )
+        cumulative = 0.0
+        for stat in run.iterations:
+            cumulative += stat.elapsed_seconds
+            table.add_row(
+                database_size=size,
+                num_influence=run.num_influence,
+                iteration=stat.iteration,
+                cumulative_seconds=cumulative,
+            )
+    return table
+
+
+# ---------------------------------------------------------------------- #
+# Ablations
+# ---------------------------------------------------------------------- #
+def ablation_ugf_vs_regular_gf(
+    num_variables: Sequence[int] = (5, 10, 20, 40),
+    trials: int = 20,
+    seed: int = 0,
+) -> ExperimentTable:
+    """Bound tightness and runtime: uncertain GF vs two regular GFs.
+
+    Verifies the claim of Section IV-D's discussion (proved in the paper's
+    technical report): the UGF never yields looser PMF bounds than the
+    two-regular-GF construction.
+    """
+    rng = np.random.default_rng(seed)
+    table = ExperimentTable(
+        name="ablation_ugf_vs_gf",
+        description="total PMF bound width and runtime of UGF vs regular GFs",
+        columns=("n", "ugf_width", "regular_width", "ugf_seconds", "regular_seconds"),
+    )
+    for n in num_variables:
+        ugf_width = regular_width = ugf_time = regular_time = 0.0
+        for _ in range(trials):
+            lower = rng.uniform(0.0, 1.0, size=n)
+            upper = np.minimum(1.0, lower + rng.uniform(0.0, 0.5, size=n))
+            start = time.perf_counter()
+            ugf = UncertainGeneratingFunction(lower, upper)
+            ugf_lower, ugf_upper = ugf.pmf_bounds()
+            ugf_time += time.perf_counter() - start
+            start = time.perf_counter()
+            reg_lower, reg_upper = regular_gf_bounds(lower, upper)
+            regular_time += time.perf_counter() - start
+            ugf_width += float(np.sum(ugf_upper - ugf_lower))
+            regular_width += float(np.sum(reg_upper - reg_lower))
+        table.add_row(
+            n=n,
+            ugf_width=ugf_width / trials,
+            regular_width=regular_width / trials,
+            ugf_seconds=ugf_time / trials,
+            regular_seconds=regular_time / trials,
+        )
+    return table
+
+
+def ablation_ugf_truncation(
+    num_variables: Sequence[int] = (50, 100, 200),
+    k: int = 5,
+    trials: int = 5,
+    seed: int = 0,
+) -> ExperimentTable:
+    """Runtime of the k-truncated UGF vs the full expansion (Section VI).
+
+    Also records whether the ``P(count < k)`` bounds of the two variants agree
+    (they must — the truncation merges only coefficients that cannot influence
+    counts below ``k``).
+    """
+    rng = np.random.default_rng(seed)
+    table = ExperimentTable(
+        name="ablation_ugf_truncation",
+        description="full vs k-truncated UGF: runtime and bound agreement",
+        columns=("n", "k", "full_seconds", "truncated_seconds", "bounds_agree"),
+    )
+    for n in num_variables:
+        full_time = truncated_time = 0.0
+        agree = True
+        for _ in range(trials):
+            lower = rng.uniform(0.0, 0.6, size=n)
+            upper = np.minimum(1.0, lower + rng.uniform(0.0, 0.4, size=n))
+            start = time.perf_counter()
+            full = UncertainGeneratingFunction(lower, upper)
+            full_time += time.perf_counter() - start
+            start = time.perf_counter()
+            truncated = UncertainGeneratingFunction(lower, upper, k_cap=k)
+            truncated_time += time.perf_counter() - start
+            for count in range(k + 1):
+                if not np.isclose(
+                    full.count_lower_bound(count), truncated.count_lower_bound(count)
+                ) or not np.isclose(
+                    full.count_upper_bound(count), truncated.count_upper_bound(count)
+                ):
+                    agree = False
+        table.add_row(
+            n=n,
+            k=k,
+            full_seconds=full_time / trials,
+            truncated_seconds=truncated_time / trials,
+            bounds_agree=agree,
+        )
+    return table

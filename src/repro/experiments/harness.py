@@ -1,0 +1,89 @@
+"""Light-weight experiment harness: parameterised runs, result tables, reports.
+
+Every figure of the paper's evaluation section has a corresponding experiment
+function in :mod:`repro.experiments.figures`.  Those functions return
+:class:`ExperimentTable` instances — plain tabular data (one row per plotted
+point) that the benchmark suite executes, that ``EXPERIMENTS.md`` documents
+and that users can export to CSV for plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+__all__ = ["ExperimentTable"]
+
+
+@dataclass
+class ExperimentTable:
+    """A named table of experiment results.
+
+    Attributes
+    ----------
+    name:
+        Identifier of the experiment (e.g. ``"figure_6a"``).
+    description:
+        One-line description of what the experiment measures.
+    columns:
+        Ordered column names.
+    rows:
+        One dict per measured point; keys must be a subset of ``columns``.
+    """
+
+    name: str
+    description: str
+    columns: Sequence[str]
+    rows: list[dict[str, Any]] = field(default_factory=list)
+
+    def add_row(self, **values: Any) -> None:
+        """Append a row; unknown keys raise to catch typos early."""
+        unknown = set(values) - set(self.columns)
+        if unknown:
+            raise KeyError(f"unknown columns {sorted(unknown)} for table {self.name}")
+        self.rows.append(values)
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one column, in row order."""
+        if name not in self.columns:
+            raise KeyError(f"unknown column {name!r}")
+        return [row.get(name) for row in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterable[dict[str, Any]]:
+        return iter(self.rows)
+
+    # ------------------------------------------------------------------ #
+    # reporting
+    # ------------------------------------------------------------------ #
+    def to_text(self, float_format: str = "{:.4g}") -> str:
+        """Render the table as aligned plain text (used by the examples)."""
+        def fmt(value: Any) -> str:
+            if isinstance(value, float):
+                return float_format.format(value)
+            return str(value)
+
+        header = list(self.columns)
+        body = [[fmt(row.get(col, "")) for col in header] for row in self.rows]
+        widths = [
+            max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = [
+            f"# {self.name}: {self.description}",
+            "  ".join(h.ljust(w) for h, w in zip(header, widths)),
+            "  ".join("-" * w for w in widths),
+        ]
+        lines.extend("  ".join(v.ljust(w) for v, w in zip(r, widths)) for r in body)
+        return "\n".join(lines)
+
+    def save_csv(self, path: str) -> None:
+        """Write the table to a CSV file."""
+        with open(path, "w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=list(self.columns))
+            writer.writeheader()
+            for row in self.rows:
+                writer.writerow(row)

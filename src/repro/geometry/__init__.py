@@ -1,0 +1,42 @@
+"""Geometric substrate: intervals, rectangles, metrics and domination criteria."""
+
+from .interval import Interval
+from .rectangle import Rectangle, rectangles_to_array
+from .metrics import (
+    lp_distance,
+    min_dist,
+    max_dist,
+    min_dist_point,
+    max_dist_point,
+    min_dist_arrays,
+    max_dist_arrays,
+    min_dist_point_arrays,
+    max_dist_point_arrays,
+)
+from .domination import (
+    DominationCriterion,
+    dominates,
+    dominates_minmax,
+    dominates_optimal,
+    domination_bulk,
+)
+
+__all__ = [
+    "Interval",
+    "Rectangle",
+    "rectangles_to_array",
+    "lp_distance",
+    "min_dist",
+    "max_dist",
+    "min_dist_point",
+    "max_dist_point",
+    "min_dist_arrays",
+    "max_dist_arrays",
+    "min_dist_point_arrays",
+    "max_dist_point_arrays",
+    "DominationCriterion",
+    "dominates",
+    "dominates_minmax",
+    "dominates_optimal",
+    "domination_bulk",
+]

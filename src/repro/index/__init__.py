@@ -1,0 +1,12 @@
+"""Index substrate: R-tree and vectorised linear-scan candidate generation."""
+
+from .rtree import RTree, RTreeNode
+from .scan import knn_candidates, min_dist_order, range_candidates
+
+__all__ = [
+    "RTree",
+    "RTreeNode",
+    "knn_candidates",
+    "min_dist_order",
+    "range_candidates",
+]

@@ -1,0 +1,220 @@
+"""A Sort-Tile-Recursive (STR) bulk-loaded R-tree over object MBRs.
+
+The paper lists the integration of the pruning framework with index-supported
+kNN / RkNN algorithms as future work; this R-tree provides that substrate.
+The query layer can use it instead of the linear scan to generate kNN and
+range candidates, and it is exercised by dedicated unit and property tests.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+import numpy as np
+
+from ..geometry import Rectangle, max_dist_arrays, min_dist_arrays
+
+__all__ = ["RTreeNode", "RTree"]
+
+
+@dataclass
+class RTreeNode:
+    """An internal or leaf node of the R-tree."""
+
+    mbr: np.ndarray  # shape (d, 2)
+    children: list["RTreeNode"] = field(default_factory=list)
+    entries: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=int))
+
+    @property
+    def is_leaf(self) -> bool:
+        """True when the node stores object indices instead of child nodes."""
+        return len(self.children) == 0
+
+
+def _combine_mbrs(mbrs: np.ndarray) -> np.ndarray:
+    """Union MBR of an ``(m, d, 2)`` array."""
+    return np.stack([mbrs[..., 0].min(axis=0), mbrs[..., 1].max(axis=0)], axis=-1)
+
+
+class RTree:
+    """Static R-tree built with Sort-Tile-Recursive bulk loading.
+
+    Parameters
+    ----------
+    mbrs:
+        Object MBRs of shape ``(n, d, 2)``.
+    leaf_capacity, fanout:
+        Maximum entries per leaf and children per internal node.
+    """
+
+    def __init__(self, mbrs: np.ndarray, leaf_capacity: int = 32, fanout: int = 16):
+        mbrs = np.asarray(mbrs, dtype=float)
+        if mbrs.ndim != 3 or mbrs.shape[2] != 2 or mbrs.shape[0] == 0:
+            raise ValueError("mbrs must be a non-empty array of shape (n, d, 2)")
+        if leaf_capacity < 2 or fanout < 2:
+            raise ValueError("leaf_capacity and fanout must both be at least 2")
+        self.mbrs = mbrs
+        self.leaf_capacity = leaf_capacity
+        self.fanout = fanout
+        self.dimensions = mbrs.shape[1]
+        self.root = self._bulk_load()
+
+    # ------------------------------------------------------------------ #
+    # construction (STR)
+    # ------------------------------------------------------------------ #
+    def _str_partition(self, indices: np.ndarray, capacity: int) -> list[np.ndarray]:
+        """Recursively tile ``indices`` into groups of at most ``capacity``."""
+        centers = 0.5 * (self.mbrs[indices, :, 0] + self.mbrs[indices, :, 1])
+        return self._tile(indices, centers, axis=0, capacity=capacity)
+
+    def _tile(
+        self, indices: np.ndarray, centers: np.ndarray, axis: int, capacity: int
+    ) -> list[np.ndarray]:
+        if indices.shape[0] <= capacity:
+            return [indices]
+        order = np.argsort(centers[:, axis], kind="stable")
+        indices = indices[order]
+        centers = centers[order]
+        n = indices.shape[0]
+        num_groups = math.ceil(n / capacity)
+        if axis == self.dimensions - 1:
+            return [
+                indices[i * capacity : (i + 1) * capacity] for i in range(num_groups)
+            ]
+        # number of vertical slabs per STR
+        slabs = math.ceil(num_groups ** (1.0 / (self.dimensions - axis)))
+        slab_size = math.ceil(n / slabs)
+        groups: list[np.ndarray] = []
+        for start in range(0, n, slab_size):
+            stop = min(start + slab_size, n)
+            groups.extend(
+                self._tile(indices[start:stop], centers[start:stop], axis + 1, capacity)
+            )
+        return groups
+
+    def _bulk_load(self) -> RTreeNode:
+        all_indices = np.arange(self.mbrs.shape[0])
+        groups = self._str_partition(all_indices, self.leaf_capacity)
+        nodes = [
+            RTreeNode(mbr=_combine_mbrs(self.mbrs[group]), entries=group)
+            for group in groups
+        ]
+        while len(nodes) > 1:
+            node_mbrs = np.stack([node.mbr for node in nodes])
+            node_centers = 0.5 * (node_mbrs[..., 0] + node_mbrs[..., 1])
+            order = self._tile(
+                np.arange(len(nodes)), node_centers, axis=0, capacity=self.fanout
+            )
+            nodes = [
+                RTreeNode(
+                    mbr=_combine_mbrs(np.stack([nodes[i].mbr for i in group])),
+                    children=[nodes[i] for i in group],
+                )
+                for group in order
+            ]
+        return nodes[0]
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return int(self.mbrs.shape[0])
+
+    def height(self) -> int:
+        """Height of the tree (1 for a single leaf)."""
+        height, node = 1, self.root
+        while not node.is_leaf:
+            node = node.children[0]
+            height += 1
+        return height
+
+    def iter_nodes(self) -> Iterable[RTreeNode]:
+        """Depth-first iteration over all nodes (used by tests)."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.children)
+
+    def range_query(self, region: Rectangle) -> np.ndarray:
+        """Indices of all objects whose MBR intersects ``region``."""
+        lows, highs = region.lows, region.highs
+        hits: list[np.ndarray] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if np.any(node.mbr[:, 0] > highs) or np.any(node.mbr[:, 1] < lows):
+                continue
+            if node.is_leaf:
+                entry_mbrs = self.mbrs[node.entries]
+                mask = np.all(
+                    (entry_mbrs[..., 0] <= highs) & (entry_mbrs[..., 1] >= lows), axis=-1
+                )
+                hits.append(node.entries[mask])
+            else:
+                stack.extend(node.children)
+        if not hits:
+            return np.empty(0, dtype=int)
+        return np.sort(np.concatenate(hits))
+
+    def knn_candidates(
+        self,
+        query: Rectangle,
+        k: int,
+        p: float = 2.0,
+        exclude: Optional[set[int]] = None,
+    ) -> np.ndarray:
+        """Conservative kNN candidates via best-first MinDist traversal.
+
+        Returns every object whose MinDist to the query does not exceed the
+        ``k``-th smallest MaxDist seen — objects outside this set are always
+        farther than at least ``k`` objects and can be pruned.
+        """
+        if k <= 0:
+            raise ValueError("k must be positive")
+        exclude = exclude or set()
+        query_arr = query.to_array()
+        counter = itertools.count()
+
+        def node_min_dist(node: RTreeNode) -> float:
+            return float(min_dist_arrays(node.mbr[None, ...], query_arr, p)[0])
+
+        heap: list[tuple[float, int, RTreeNode]] = [
+            (node_min_dist(self.root), next(counter), self.root)
+        ]
+        max_dist_heap: list[float] = []  # max-heap (negated) of the k smallest MaxDists
+        threshold = math.inf
+        candidates: list[tuple[float, int]] = []  # (min_dist, object index)
+
+        while heap:
+            dist, _, node = heapq.heappop(heap)
+            if dist > threshold:
+                break
+            if node.is_leaf:
+                entries = np.array(
+                    [i for i in node.entries if int(i) not in exclude], dtype=int
+                )
+                if entries.shape[0] == 0:
+                    continue
+                entry_mbrs = self.mbrs[entries]
+                entry_min = min_dist_arrays(entry_mbrs, query_arr, p)
+                entry_max = max_dist_arrays(entry_mbrs, query_arr, p)
+                for idx, mn, mx in zip(entries, entry_min, entry_max):
+                    candidates.append((float(mn), int(idx)))
+                    heapq.heappush(max_dist_heap, -float(mx))
+                    if len(max_dist_heap) > k:
+                        heapq.heappop(max_dist_heap)
+                    if len(max_dist_heap) == k:
+                        threshold = -max_dist_heap[0]
+            else:
+                for child in node.children:
+                    child_dist = node_min_dist(child)
+                    if child_dist <= threshold:
+                        heapq.heappush(heap, (child_dist, next(counter), child))
+
+        result = [idx for mn, idx in candidates if mn <= threshold]
+        return np.array(sorted(result), dtype=int)

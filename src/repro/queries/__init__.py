@@ -1,0 +1,23 @@
+"""Probabilistic similarity queries built on the domination-count machinery."""
+
+from .common import ObjectSpec, ProbabilisticMatch, ThresholdQueryResult
+from .inverse_ranking import RankDistribution, probabilistic_inverse_ranking
+from .knn import probabilistic_knn_threshold
+from .range import probabilistic_range_query, probability_within_range
+from .ranking import RankedObject, RankingResult, expected_rank_ranking
+from .rknn import probabilistic_rknn_threshold
+
+__all__ = [
+    "ObjectSpec",
+    "ProbabilisticMatch",
+    "ThresholdQueryResult",
+    "RankDistribution",
+    "probabilistic_inverse_ranking",
+    "probabilistic_knn_threshold",
+    "probabilistic_range_query",
+    "probability_within_range",
+    "RankedObject",
+    "RankingResult",
+    "expected_rank_ranking",
+    "probabilistic_rknn_threshold",
+]

@@ -1,0 +1,105 @@
+"""Shared helpers and result types of the probabilistic query layer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+import numpy as np
+
+from ..uncertain import UncertainDatabase, UncertainObject
+
+__all__ = ["ObjectSpec", "resolve_object", "ProbabilisticMatch", "ThresholdQueryResult"]
+
+ObjectSpec = Union[UncertainObject, int, np.integer]
+
+
+def resolve_object(
+    database: UncertainDatabase, spec: ObjectSpec, exclude: set[int]
+) -> UncertainObject:
+    """Resolve an object-or-index specification against a database.
+
+    When ``spec`` is a database position it is added to ``exclude`` so the
+    object does not participate in its own query evaluation.
+    """
+    if isinstance(spec, (int, np.integer)):
+        index = int(spec)
+        if not 0 <= index < len(database):
+            raise IndexError(f"object index {index} out of range")
+        exclude.add(index)
+        return database[index]
+    return spec
+
+
+@dataclass(frozen=True)
+class ProbabilisticMatch:
+    """Per-object outcome of a probabilistic threshold query.
+
+    Attributes
+    ----------
+    index:
+        Database position of the evaluated object.
+    probability_lower, probability_upper:
+        Bounds of the query-predicate probability (e.g. ``P(B in kNN(Q))``).
+    decision:
+        ``True`` when the predicate provably holds, ``False`` when it provably
+        fails, ``None`` when the iteration budget ran out before the predicate
+        became decidable — the probability bounds then serve as the confidence
+        interval the paper suggests returning to the user.
+    iterations:
+        Number of refinement iterations IDCA spent on this object.
+    """
+
+    index: int
+    probability_lower: float
+    probability_upper: float
+    decision: Optional[bool]
+    iterations: int
+
+    @property
+    def probability_midpoint(self) -> float:
+        """Midpoint of the probability bounds."""
+        return 0.5 * (self.probability_lower + self.probability_upper)
+
+
+@dataclass
+class ThresholdQueryResult:
+    """Result of a probabilistic threshold query (kNN or reverse kNN).
+
+    Attributes
+    ----------
+    k, tau:
+        Query parameters.
+    matches:
+        Objects for which the predicate provably holds.
+    undecided:
+        Objects whose predicate could not be decided within the iteration
+        budget (bounds straddle ``tau``).
+    rejected:
+        Objects for which the predicate provably fails but that were close
+        enough to require probabilistic evaluation.
+    pruned:
+        Number of objects discarded by the spatial candidate filter alone.
+    elapsed_seconds:
+        Total query wall-clock time.
+    """
+
+    k: int
+    tau: float
+    matches: list[ProbabilisticMatch] = field(default_factory=list)
+    undecided: list[ProbabilisticMatch] = field(default_factory=list)
+    rejected: list[ProbabilisticMatch] = field(default_factory=list)
+    pruned: int = 0
+    elapsed_seconds: float = 0.0
+
+    def result_indices(self) -> list[int]:
+        """Database positions of the objects that satisfy the predicate."""
+        return [match.index for match in self.matches]
+
+    def candidate_count(self) -> int:
+        """Number of objects that required probabilistic evaluation."""
+        return len(self.matches) + len(self.undecided) + len(self.rejected)
+
+    def all_evaluated(self) -> list[ProbabilisticMatch]:
+        """Every probabilistically evaluated object, in evaluation order."""
+        return [*self.matches, *self.undecided, *self.rejected]

@@ -1,0 +1,103 @@
+"""Probabilistic threshold reverse k-nearest-neighbour queries (Corollary 5).
+
+An object ``A`` is a reverse k-nearest neighbour of the query ``Q`` when ``Q``
+is among the ``k`` nearest neighbours *of A*, i.e. when fewer than ``k``
+database objects are closer to ``A`` than ``Q`` is::
+
+    P^RkNN(A, Q) = sum_{i < k} P(DomCount(Q, A) = i) >= tau
+
+Note the swapped roles compared to the kNN query: the query object is the
+*target* of the domination count and the database object ``A`` is the
+*reference*.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Optional
+
+from ..core import IDCA, ThresholdDecision
+from ..geometry import DominationCriterion
+from ..uncertain import UncertainDatabase
+from .common import ObjectSpec, ProbabilisticMatch, ThresholdQueryResult, resolve_object
+
+__all__ = ["probabilistic_rknn_threshold"]
+
+
+def probabilistic_rknn_threshold(
+    database: UncertainDatabase,
+    query: ObjectSpec,
+    k: int,
+    tau: float,
+    p: float = 2.0,
+    criterion: DominationCriterion = "optimal",
+    max_iterations: int = 10,
+    idca: Optional[IDCA] = None,
+    candidate_indices: Optional[Iterable[int]] = None,
+    strict: bool = False,
+) -> ThresholdQueryResult:
+    """Evaluate a probabilistic threshold reverse kNN query.
+
+    Parameters
+    ----------
+    database:
+        The uncertain database.
+    query:
+        Query object or database position.
+    k, tau:
+        Report objects that have the query among their ``k`` nearest
+        neighbours with probability at least ``tau``.
+    candidate_indices:
+        Optional subset of database positions to evaluate (e.g. produced by an
+        application-specific filter); defaults to the full database.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if not 0.0 <= tau <= 1.0:
+        raise ValueError("tau must be a probability")
+
+    start = time.perf_counter()
+    exclude: set[int] = set()
+    query_obj = resolve_object(database, query, exclude)
+
+    if idca is None:
+        idca = IDCA(database, p=p, criterion=criterion, k_cap=k)
+    elif idca.k_cap is not None and idca.k_cap < k:
+        raise ValueError("the supplied IDCA instance truncates below the requested k")
+
+    if candidate_indices is None:
+        candidates = [i for i in range(len(database)) if i not in exclude]
+    else:
+        candidates = [int(i) for i in candidate_indices if int(i) not in exclude]
+
+    result = ThresholdQueryResult(
+        k=k, tau=tau, pruned=len(database) - len(exclude) - len(candidates)
+    )
+    for index in candidates:
+        stop = ThresholdDecision(k=k, tau=tau, strict=strict)
+        # the count is over objects other than the candidate itself and the query
+        run_exclude = set(exclude)
+        run_exclude.add(index)
+        run = idca.domination_count(
+            query_obj,
+            database[index],
+            stop=stop,
+            max_iterations=max_iterations,
+            exclude_indices=sorted(run_exclude),
+        )
+        lower, upper = run.bounds.less_than(k)
+        match = ProbabilisticMatch(
+            index=index,
+            probability_lower=lower,
+            probability_upper=upper,
+            decision=run.decision,
+            iterations=run.num_iterations,
+        )
+        if run.decision is True:
+            result.matches.append(match)
+        elif run.decision is False:
+            result.rejected.append(match)
+        else:
+            result.undecided.append(match)
+    result.elapsed_seconds = time.perf_counter() - start
+    return result

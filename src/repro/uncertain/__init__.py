@@ -1,0 +1,37 @@
+"""Uncertainty model: uncertain objects, databases, decomposition and sampling."""
+
+from .base import UncertainDatabase, UncertainObject
+from .continuous import BoxUniformObject, MixtureObject, TruncatedGaussianObject
+from .discrete import DiscreteObject, PointObject
+from .histogram import HistogramObject
+from .decomposition import (
+    DecompositionNode,
+    DecompositionTree,
+    Partition,
+    decompose_object,
+)
+from .sampling import (
+    discretise_database,
+    discretise_object,
+    pairwise_distances,
+    sample_database,
+)
+
+__all__ = [
+    "UncertainDatabase",
+    "UncertainObject",
+    "BoxUniformObject",
+    "MixtureObject",
+    "TruncatedGaussianObject",
+    "DiscreteObject",
+    "PointObject",
+    "HistogramObject",
+    "DecompositionNode",
+    "DecompositionTree",
+    "Partition",
+    "decompose_object",
+    "discretise_database",
+    "discretise_object",
+    "pairwise_distances",
+    "sample_database",
+]

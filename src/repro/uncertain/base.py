@@ -1,0 +1,187 @@
+"""Base classes of the uncertainty model.
+
+The paper's model (Definition 1) represents every database object ``o_i`` by a
+multi-dimensional probability density function ``f_i`` that is minimally
+bounded by a rectangular *uncertainty region* ``R_i``:
+
+* ``f_i(x) = 0`` for every ``x`` outside ``R_i``;
+* ``\\int_{R_i} f_i(x) dx = 1`` (existential certainty; the hooks for
+  existentially uncertain objects with total mass below 1 are kept in the
+  ``existence_probability`` attribute).
+
+Attributes may be arbitrarily correlated, so subclasses describe the joint
+distribution directly rather than via per-attribute marginals.  The discrete
+uncertainty model (a finite set of weighted alternatives) is the special case
+implemented by :class:`~repro.uncertain.discrete.DiscreteObject`.
+
+Every concrete distribution must expose the three primitives the pruning
+machinery relies on:
+
+``mass_in(region)``
+    exact probability that the object falls inside an axis-aligned region —
+    used to weight decomposition partitions (Lemma 1);
+``conditional_median(region, axis)``
+    the median of the distribution restricted to ``region`` along ``axis`` —
+    used by the kd-tree median-split decomposition (Section V), which
+    guarantees that each split halves the remaining probability mass;
+``sample(n, rng)``
+    Monte-Carlo samples — used by the MC comparison partner and by the
+    statistical tests.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..geometry import Rectangle
+
+
+class UncertainObject(abc.ABC):
+    """Abstract base class for uncertain (probabilistic) database objects."""
+
+    def __init__(self, label: Optional[str] = None, existence_probability: float = 1.0):
+        if not 0.0 < existence_probability <= 1.0:
+            raise ValueError(
+                f"existence probability must be in (0, 1], got {existence_probability}"
+            )
+        self.label = label
+        self.existence_probability = float(existence_probability)
+
+    # ------------------------------------------------------------------ #
+    # abstract protocol
+    # ------------------------------------------------------------------ #
+    @property
+    @abc.abstractmethod
+    def mbr(self) -> Rectangle:
+        """Minimum bounding rectangle of the uncertainty region."""
+
+    @abc.abstractmethod
+    def mass_in(self, region: Rectangle) -> float:
+        """Probability that the object lies inside ``region``.
+
+        The returned value is an *absolute* probability, i.e. it already
+        accounts for ``existence_probability``.
+        """
+
+    @abc.abstractmethod
+    def conditional_median(self, region: Rectangle, axis: int) -> float:
+        """Median along ``axis`` of the distribution restricted to ``region``.
+
+        Callers guarantee ``mass_in(region) > 0``.
+        """
+
+    @abc.abstractmethod
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``n`` i.i.d. samples, returned as an array of shape ``(n, d)``."""
+
+    @abc.abstractmethod
+    def mean(self) -> np.ndarray:
+        """Expected location of the object (used by expected-distance baselines)."""
+
+    # ------------------------------------------------------------------ #
+    # derived helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def dimensions(self) -> int:
+        """Number of spatial dimensions."""
+        return self.mbr.dimensions
+
+    def decompose(
+        self, region: Rectangle, axis: int
+    ) -> Optional[tuple[Rectangle, Rectangle, float, float]]:
+        """Split the distribution restricted to ``region`` along ``axis``.
+
+        Returns ``(left_region, right_region, left_mass, right_mass)`` or
+        ``None`` when the region cannot be split along this axis (zero extent
+        or all mass concentrated at a single coordinate).  Subclasses with a
+        discrete support override this to split the alternative set exactly
+        and to tighten the child regions to the contained alternatives.
+        """
+        interval = region.intervals[axis]
+        if interval.is_degenerate:
+            return None
+        split_at = self.conditional_median(region, axis)
+        if not (interval.lo < split_at < interval.hi):
+            return None
+        left, right = region.split(axis, split_at)
+        left_mass = self.mass_in(left)
+        right_mass = self.mass_in(right)
+        return left, right, left_mass, right_mass
+
+    def is_certain(self) -> bool:
+        """True when the object degenerates to a single certain point."""
+        return self.mbr.is_degenerate and self.existence_probability == 1.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        name = self.label if self.label is not None else "?"
+        return f"{type(self).__name__}(label={name!r}, mbr={self.mbr.to_array().tolist()})"
+
+
+class UncertainDatabase:
+    """An ordered collection of uncertain objects.
+
+    The database is the unit that queries and the IDCA algorithm operate on.
+    Objects are addressed by their integer position; an optional string label
+    per object is kept for reporting.
+    """
+
+    def __init__(self, objects: Sequence[UncertainObject]):
+        self._objects = list(objects)
+        if not self._objects:
+            raise ValueError("an uncertain database must contain at least one object")
+        d = self._objects[0].dimensions
+        for obj in self._objects:
+            if obj.dimensions != d:
+                raise ValueError("all objects must share the same dimensionality")
+        self._mbr_cache: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    # container protocol
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __getitem__(self, index: int) -> UncertainObject:
+        return self._objects[index]
+
+    def __iter__(self):
+        return iter(self._objects)
+
+    @property
+    def objects(self) -> list[UncertainObject]:
+        """The underlying list of objects (do not mutate)."""
+        return self._objects
+
+    @property
+    def dimensions(self) -> int:
+        """Dimensionality shared by all objects."""
+        return self._objects[0].dimensions
+
+    # ------------------------------------------------------------------ #
+    # bulk geometry
+    # ------------------------------------------------------------------ #
+    def mbrs(self) -> np.ndarray:
+        """All object MBRs stacked into an array of shape ``(n, d, 2)``.
+
+        The array is cached; databases are treated as immutable after
+        construction.
+        """
+        if self._mbr_cache is None:
+            n, d = len(self._objects), self.dimensions
+            arr = np.empty((n, d, 2), dtype=float)
+            for i, obj in enumerate(self._objects):
+                mbr = obj.mbr
+                arr[i, :, 0] = mbr.lows
+                arr[i, :, 1] = mbr.highs
+            self._mbr_cache = arr
+        return self._mbr_cache
+
+    def labels(self) -> list[str]:
+        """Per-object labels, synthesising ``obj-<i>`` when missing."""
+        return [
+            obj.label if obj.label is not None else f"obj-{i}"
+            for i, obj in enumerate(self._objects)
+        ]

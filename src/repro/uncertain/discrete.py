@@ -1,0 +1,170 @@
+"""Discrete uncertain objects (finite sets of weighted alternatives).
+
+The discrete uncertainty model — "the probability distribution of an uncertain
+object is given by a finite number of alternatives assigned with probabilities"
+— is the special case of the continuous model the paper uses for the
+comparison against the Monte-Carlo partner (Section VII-A: objects are
+represented by 1000 samples each).  It is also the model for which the naive
+possible-world oracle used in the test suite is exact.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..geometry import Rectangle
+from .base import UncertainObject
+
+__all__ = ["DiscreteObject", "PointObject"]
+
+_EPS = 1e-12
+
+
+class DiscreteObject(UncertainObject):
+    """An uncertain object given by weighted point alternatives.
+
+    Parameters
+    ----------
+    points:
+        Array-like of shape ``(m, d)`` holding the alternative locations.
+    weights:
+        Optional array-like of shape ``(m,)`` with the alternative
+        probabilities.  Defaults to the uniform distribution.  Weights are
+        normalised to ``existence_probability``.
+    """
+
+    def __init__(
+        self,
+        points: np.ndarray,
+        weights: Optional[Sequence[float]] = None,
+        label: Optional[str] = None,
+        existence_probability: float = 1.0,
+    ):
+        super().__init__(label=label, existence_probability=existence_probability)
+        pts = np.asarray(points, dtype=float)
+        if pts.ndim == 1:
+            pts = pts.reshape(1, -1)
+        if pts.ndim != 2 or pts.shape[0] == 0:
+            raise ValueError("points must be a non-empty array of shape (m, d)")
+        self._points = pts
+        if weights is None:
+            w = np.full(pts.shape[0], 1.0 / pts.shape[0])
+        else:
+            w = np.asarray(weights, dtype=float)
+            if w.shape != (pts.shape[0],):
+                raise ValueError("weights must have shape (m,)")
+            if np.any(w < 0):
+                raise ValueError("weights must be non-negative")
+            total = w.sum()
+            if total <= 0:
+                raise ValueError("weights must not all be zero")
+            w = w / total
+        self._weights = w * self.existence_probability
+        self._mbr = Rectangle.bounding(pts)
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def points(self) -> np.ndarray:
+        """Alternative locations of shape ``(m, d)`` (do not mutate)."""
+        return self._points
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Alternative probabilities (sum to ``existence_probability``)."""
+        return self._weights
+
+    @property
+    def mbr(self) -> Rectangle:
+        return self._mbr
+
+    # ------------------------------------------------------------------ #
+    # UncertainObject protocol
+    # ------------------------------------------------------------------ #
+    def _mask_in(self, region: Rectangle) -> np.ndarray:
+        lows, highs = region.lows, region.highs
+        return np.all((self._points >= lows) & (self._points <= highs), axis=1)
+
+    def mass_in(self, region: Rectangle) -> float:
+        return float(self._weights[self._mask_in(region)].sum())
+
+    def conditional_median(self, region: Rectangle, axis: int) -> float:
+        mask = self._mask_in(region)
+        if not mask.any():
+            raise ValueError("region does not contain any alternative")
+        coords = self._points[mask, axis]
+        weights = self._weights[mask]
+        order = np.argsort(coords)
+        coords, weights = coords[order], weights[order]
+        cumulative = np.cumsum(weights)
+        idx = int(np.searchsorted(cumulative, 0.5 * cumulative[-1]))
+        idx = min(idx, len(coords) - 1)
+        median = coords[idx]
+        # place the split strictly between the median value and the next larger
+        # distinct value so that no alternative lies exactly on a partition
+        # boundary (keeps partitions disjoint)
+        larger = coords[coords > median]
+        if larger.size > 0:
+            return float(0.5 * (median + larger.min()))
+        # the weighted median is the largest coordinate: split below it instead
+        # so the split still separates alternatives whenever two distinct
+        # coordinates exist along this axis
+        smaller = coords[coords < median]
+        if smaller.size == 0:
+            return float(median)
+        return float(0.5 * (smaller.max() + median))
+
+    def decompose(
+        self, region: Rectangle, axis: int
+    ) -> Optional[tuple[Rectangle, Rectangle, float, float]]:
+        """Exact split of the alternatives inside ``region`` along ``axis``.
+
+        Child regions are tightened to the bounding boxes of the alternatives
+        they contain, which strictly improves the pruning power of the
+        decomposition-based bounds.
+        """
+        mask = self._mask_in(region)
+        pts = self._points[mask]
+        weights = self._weights[mask]
+        if pts.shape[0] < 2:
+            return None
+        coords = pts[:, axis]
+        if coords.max() - coords.min() <= _EPS:
+            return None
+        split_at = self.conditional_median(region, axis)
+        left_mask = coords <= split_at
+        right_mask = ~left_mask
+        if not left_mask.any() or not right_mask.any():
+            return None
+        left_region = Rectangle.bounding(pts[left_mask])
+        right_region = Rectangle.bounding(pts[right_mask])
+        return (
+            left_region,
+            right_region,
+            float(weights[left_mask].sum()),
+            float(weights[right_mask].sum()),
+        )
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        probabilities = self._weights / self._weights.sum()
+        idx = rng.choice(self._points.shape[0], size=n, p=probabilities)
+        return self._points[idx]
+
+    def mean(self) -> np.ndarray:
+        probabilities = self._weights / self._weights.sum()
+        return probabilities @ self._points
+
+
+class PointObject(DiscreteObject):
+    """A certain (non-probabilistic) object, i.e. a single point alternative.
+
+    Certain query points — the setting of most prior work the paper discusses —
+    are expressed as ``PointObject`` so that the same query code path handles
+    certain and uncertain reference objects uniformly.
+    """
+
+    def __init__(self, point: Sequence[float], label: Optional[str] = None):
+        super().__init__(np.asarray(point, dtype=float).reshape(1, -1), label=label)

@@ -1,0 +1,186 @@
+"""Histogram-based uncertain objects (independent piecewise-constant marginals).
+
+Continuous sensor values are frequently published as per-attribute histograms
+rather than parametric distributions.  :class:`HistogramObject` models an
+uncertain object whose attributes are mutually independent and whose marginal
+densities are piecewise constant over arbitrary bin boundaries.  Because both
+the bin masses and the within-bin densities are known exactly, the object
+supports the exact ``mass_in`` / ``conditional_median`` primitives the pruning
+machinery requires — no approximation is introduced anywhere.
+
+This class also demonstrates how to extend the uncertainty model beyond the
+distributions used in the paper's experiments: any distribution that can
+integrate itself exactly over boxes plugs into IDCA unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..geometry import Rectangle
+from .base import UncertainObject
+
+__all__ = ["HistogramObject"]
+
+_EPS = 1e-12
+
+
+class _MarginalHistogram:
+    """A 1-D piecewise-constant distribution over consecutive bins."""
+
+    def __init__(self, edges: Sequence[float], masses: Sequence[float]):
+        edges_arr = np.asarray(edges, dtype=float)
+        masses_arr = np.asarray(masses, dtype=float)
+        if edges_arr.ndim != 1 or edges_arr.shape[0] < 2:
+            raise ValueError("a histogram needs at least two bin edges")
+        if np.any(np.diff(edges_arr) <= 0):
+            raise ValueError("bin edges must be strictly increasing")
+        if masses_arr.shape != (edges_arr.shape[0] - 1,):
+            raise ValueError("need exactly one mass per bin")
+        if np.any(masses_arr < 0):
+            raise ValueError("bin masses must be non-negative")
+        total = masses_arr.sum()
+        if total <= 0:
+            raise ValueError("bin masses must not all be zero")
+        self.edges = edges_arr
+        self.masses = masses_arr / total
+        self.cumulative = np.concatenate([[0.0], np.cumsum(self.masses)])
+
+    @property
+    def lo(self) -> float:
+        return float(self.edges[0])
+
+    @property
+    def hi(self) -> float:
+        return float(self.edges[-1])
+
+    def cdf(self, x: float) -> float:
+        """Probability mass below (or at) ``x``."""
+        if x <= self.lo:
+            return 0.0
+        if x >= self.hi:
+            return 1.0
+        idx = int(np.searchsorted(self.edges, x, side="right")) - 1
+        idx = min(max(idx, 0), self.masses.shape[0] - 1)
+        left, right = self.edges[idx], self.edges[idx + 1]
+        within = (x - left) / (right - left)
+        return float(self.cumulative[idx] + within * self.masses[idx])
+
+    def mass_between(self, lo: float, hi: float) -> float:
+        """Probability mass of the interval ``[lo, hi]``."""
+        if hi < lo:
+            return 0.0
+        return max(0.0, self.cdf(hi) - self.cdf(lo))
+
+    def quantile_between(self, lo: float, hi: float, fraction: float) -> float:
+        """The ``fraction``-quantile of the distribution restricted to ``[lo, hi]``."""
+        lo = max(lo, self.lo)
+        hi = min(hi, self.hi)
+        cdf_lo, cdf_hi = self.cdf(lo), self.cdf(hi)
+        if cdf_hi - cdf_lo <= _EPS:
+            return 0.5 * (lo + hi)
+        target = cdf_lo + fraction * (cdf_hi - cdf_lo)
+        idx = int(np.searchsorted(self.cumulative, target, side="right")) - 1
+        idx = min(max(idx, 0), self.masses.shape[0] - 1)
+        left, right = self.edges[idx], self.edges[idx + 1]
+        mass = self.masses[idx]
+        if mass <= _EPS:
+            value = left
+        else:
+            value = left + (target - self.cumulative[idx]) / mass * (right - left)
+        return float(min(max(value, lo), hi))
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        bins = rng.choice(self.masses.shape[0], size=n, p=self.masses)
+        left = self.edges[bins]
+        right = self.edges[bins + 1]
+        return rng.uniform(left, right)
+
+    def mean(self) -> float:
+        centers = 0.5 * (self.edges[:-1] + self.edges[1:])
+        return float(centers @ self.masses)
+
+
+class HistogramObject(UncertainObject):
+    """Uncertain object with independent piecewise-constant marginals.
+
+    Parameters
+    ----------
+    edges:
+        Per-dimension bin edges; ``edges[i]`` is a strictly increasing sequence
+        of at least two values.
+    masses:
+        Per-dimension bin masses (one entry fewer than the edges); they are
+        normalised per dimension.
+    """
+
+    def __init__(
+        self,
+        edges: Sequence[Sequence[float]],
+        masses: Sequence[Sequence[float]],
+        label: Optional[str] = None,
+        existence_probability: float = 1.0,
+    ):
+        super().__init__(label=label, existence_probability=existence_probability)
+        if len(edges) != len(masses) or len(edges) == 0:
+            raise ValueError("edges and masses must describe the same, non-zero dimensionality")
+        self._marginals = [
+            _MarginalHistogram(edge, mass) for edge, mass in zip(edges, masses)
+        ]
+        self._mbr = Rectangle.from_bounds(
+            [marginal.lo for marginal in self._marginals],
+            [marginal.hi for marginal in self._marginals],
+        )
+
+    @property
+    def mbr(self) -> Rectangle:
+        return self._mbr
+
+    def mass_in(self, region: Rectangle) -> float:
+        fraction = 1.0
+        for marginal, interval in zip(self._marginals, region.intervals):
+            fraction *= marginal.mass_between(interval.lo, interval.hi)
+            if fraction <= 0.0:
+                return 0.0
+        return self.existence_probability * fraction
+
+    def conditional_median(self, region: Rectangle, axis: int) -> float:
+        interval = region.intervals[axis]
+        return self._marginals[axis].quantile_between(interval.lo, interval.hi, 0.5)
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        out = np.empty((n, self.dimensions), dtype=float)
+        for axis, marginal in enumerate(self._marginals):
+            out[:, axis] = marginal.sample(n, rng)
+        return out
+
+    def mean(self) -> np.ndarray:
+        return np.array([marginal.mean() for marginal in self._marginals])
+
+    @classmethod
+    def from_samples(
+        cls,
+        points: np.ndarray,
+        bins: int = 8,
+        label: Optional[str] = None,
+    ) -> "HistogramObject":
+        """Fit a histogram object to a sample cloud (equi-width bins per axis)."""
+        pts = np.asarray(points, dtype=float)
+        if pts.ndim != 2 or pts.shape[0] == 0:
+            raise ValueError("points must be a non-empty array of shape (n, d)")
+        if bins < 1:
+            raise ValueError("bins must be at least 1")
+        edges, masses = [], []
+        for axis in range(pts.shape[1]):
+            lo, hi = float(pts[:, axis].min()), float(pts[:, axis].max())
+            if hi - lo <= _EPS:
+                hi = lo + 1e-9
+            axis_edges = np.linspace(lo, hi, bins + 1)
+            counts, _ = np.histogram(pts[:, axis], bins=axis_edges)
+            if counts.sum() == 0:
+                counts = np.ones_like(counts)
+            edges.append(axis_edges)
+            masses.append(counts.astype(float))
+        return cls(edges, masses, label=label)

@@ -1,0 +1,108 @@
+"""Tests for the adaptive candidate-refinement heuristic of IDCA.
+
+Adaptive refinement (the paper's "future work" heuristic) only keeps splitting
+influence objects whose domination-probability bounds are still wide.  The
+tests verify that correctness is unaffected (bounds still bracket the exact
+distribution) and that the heuristic does not refine objects beyond need.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import exact_domination_count_pmf
+from repro.core import IDCA, MaxIterations
+from repro.datasets import (
+    discrete_sample_database,
+    random_reference_object,
+    target_by_mindist_rank,
+    uniform_rectangle_database,
+)
+from repro.uncertain import DiscreteObject
+
+
+class TestAdaptiveCorrectness:
+    @pytest.mark.parametrize("seed", [3, 19])
+    def test_bounds_still_bracket_oracle(self, seed):
+        database = discrete_sample_database(
+            num_objects=9, samples_per_object=5, max_extent=0.35, seed=seed
+        )
+        rng = np.random.default_rng(seed)
+        reference = DiscreteObject(rng.uniform(0, 1, size=(4, 2)), label="ref")
+        target = 2
+        exact = exact_domination_count_pmf(
+            database, database[target], reference, exclude_indices=[target]
+        )
+        idca = IDCA(
+            database,
+            adaptive_candidate_refinement=True,
+            adaptive_width_threshold=0.05,
+            max_target_depth=4,
+            max_reference_depth=4,
+        )
+        result = idca.domination_count(
+            target, reference, stop=MaxIterations(8), max_iterations=8
+        )
+        assert np.all(result.bounds.lower <= exact + 1e-9)
+        assert np.all(result.bounds.upper >= exact - 1e-9)
+
+    def test_uncertainty_still_decreases(self):
+        database = uniform_rectangle_database(200, max_extent=0.02, seed=5)
+        reference = random_reference_object(extent=0.02, seed=6)
+        target = target_by_mindist_rank(database, reference, rank=8)
+        idca = IDCA(database, adaptive_candidate_refinement=True)
+        result = idca.domination_count(
+            target, reference, stop=MaxIterations(5), max_iterations=5
+        )
+        uncertainties = [stat.uncertainty for stat in result.iterations]
+        for earlier, later in zip(uncertainties, uncertainties[1:]):
+            assert later <= earlier + 1e-9
+
+    def test_invalid_threshold_raises(self):
+        database = uniform_rectangle_database(20, max_extent=0.02, seed=7)
+        with pytest.raises(ValueError):
+            IDCA(database, adaptive_width_threshold=-0.1)
+
+
+class TestAdaptiveEfficiency:
+    def test_adaptive_touches_fewer_partitions(self):
+        """With a generous width budget the adaptive variant stops splitting
+        resolved candidates, so the maximum partition count per candidate stays
+        below the uniform variant's."""
+        database = uniform_rectangle_database(400, max_extent=0.03, seed=8)
+        reference = random_reference_object(extent=0.03, seed=9)
+        target = target_by_mindist_rank(database, reference, rank=10)
+        iterations = 6
+        uniform = IDCA(database).domination_count(
+            target, reference, stop=MaxIterations(iterations), max_iterations=iterations
+        )
+        adaptive = IDCA(
+            database,
+            adaptive_candidate_refinement=True,
+            adaptive_width_threshold=0.25,
+        ).domination_count(
+            target, reference, stop=MaxIterations(iterations), max_iterations=iterations
+        )
+        assert (
+            adaptive.iterations[-1].candidate_partitions
+            <= uniform.iterations[-1].candidate_partitions
+        )
+        # quality is allowed to be marginally worse, but stays in the same ballpark
+        assert adaptive.bounds.uncertainty() <= uniform.bounds.uncertainty() + 1.0
+
+    def test_adaptive_with_zero_threshold_matches_uniform(self):
+        """A zero width budget makes the adaptive schedule identical to the
+        uniform one (every unresolved candidate is refined every iteration)."""
+        database = uniform_rectangle_database(150, max_extent=0.03, seed=10)
+        reference = random_reference_object(extent=0.03, seed=11)
+        target = target_by_mindist_rank(database, reference, rank=6)
+        iterations = 4
+        uniform = IDCA(database).domination_count(
+            target, reference, stop=MaxIterations(iterations), max_iterations=iterations
+        )
+        adaptive = IDCA(
+            database, adaptive_candidate_refinement=True, adaptive_width_threshold=0.0
+        ).domination_count(
+            target, reference, stop=MaxIterations(iterations), max_iterations=iterations
+        )
+        np.testing.assert_allclose(adaptive.bounds.lower, uniform.bounds.lower, atol=1e-9)
+        np.testing.assert_allclose(adaptive.bounds.upper, uniform.bounds.upper, atol=1e-9)

@@ -1,0 +1,206 @@
+"""Tests for the baselines: exact oracle, Monte-Carlo partner, MinMax pruning."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    MonteCarloDominationCount,
+    compare_pruning_power,
+    exact_domination_count_pmf,
+    exact_pdom,
+    minmax_idca,
+    monte_carlo_pdom,
+)
+from repro.core import IDCA, MaxIterations
+from repro.datasets import (
+    discrete_sample_database,
+    random_reference_object,
+    target_by_mindist_rank,
+    uniform_rectangle_database,
+)
+from repro.geometry import Rectangle
+from repro.uncertain import BoxUniformObject, DiscreteObject, UncertainDatabase
+
+
+class TestExactPDom:
+    def test_simple_two_point_objects(self):
+        a = DiscreteObject([[1.0, 0.0]])
+        b = DiscreteObject([[2.0, 0.0], [0.5, 0.0]], [0.5, 0.5])
+        r = DiscreteObject([[0.0, 0.0]])
+        # A (at distance 1) beats B only when B sits at distance 2
+        assert exact_pdom(a, b, r) == pytest.approx(0.5)
+
+    def test_certain_domination(self):
+        a = DiscreteObject([[1.0, 0.0]])
+        b = DiscreteObject([[5.0, 0.0]])
+        r = DiscreteObject([[0.0, 0.0]])
+        assert exact_pdom(a, b, r) == pytest.approx(1.0)
+        assert exact_pdom(b, a, r) == pytest.approx(0.0)
+
+    def test_complement_property(self):
+        rng = np.random.default_rng(0)
+        a = DiscreteObject(rng.uniform(0, 1, size=(5, 2)))
+        b = DiscreteObject(rng.uniform(0, 1, size=(4, 2)))
+        r = DiscreteObject(rng.uniform(0, 1, size=(3, 2)))
+        # ties have probability ~0 for continuous random samples
+        assert exact_pdom(a, b, r) + exact_pdom(b, a, r) == pytest.approx(1.0)
+
+    def test_ties_count_as_not_dominating(self):
+        a = DiscreteObject([[1.0, 0.0]])
+        b = DiscreteObject([[-1.0, 0.0]])
+        r = DiscreteObject([[0.0, 0.0]])
+        assert exact_pdom(a, b, r) == 0.0
+        assert exact_pdom(b, a, r) == 0.0
+
+    def test_requires_discrete_objects(self):
+        box = BoxUniformObject(Rectangle.from_bounds([0.0, 0.0], [1.0, 1.0]))
+        point = DiscreteObject([[0.0, 0.0]])
+        with pytest.raises(TypeError):
+            exact_pdom(box, point, point)
+
+    def test_matches_monte_carlo(self):
+        rng = np.random.default_rng(1)
+        a = DiscreteObject(rng.uniform(0, 1, size=(4, 2)))
+        b = DiscreteObject(rng.uniform(0, 1, size=(4, 2)))
+        r = DiscreteObject(rng.uniform(0, 1, size=(4, 2)))
+        estimate = monte_carlo_pdom(a, b, r, samples=40000, rng=rng)
+        assert estimate == pytest.approx(exact_pdom(a, b, r), abs=0.02)
+
+
+class TestExactDominationCount:
+    def test_pmf_is_a_distribution(self):
+        database = discrete_sample_database(8, 4, seed=1)
+        rng = np.random.default_rng(1)
+        ref = DiscreteObject(rng.uniform(0, 1, size=(3, 2)))
+        pmf = exact_domination_count_pmf(database, database[0], ref, exclude_indices=[0])
+        assert pmf.shape == (8,)
+        assert pmf.sum() == pytest.approx(1.0)
+        assert np.all(pmf >= 0)
+
+    def test_certain_configuration(self):
+        database = UncertainDatabase(
+            [DiscreteObject([[float(i + 1), 0.0]]) for i in range(4)]
+        )
+        ref = DiscreteObject([[0.0, 0.0]])
+        pmf = exact_domination_count_pmf(database, database[2], ref, exclude_indices=[2])
+        # objects at x=1 and x=2 dominate the target at x=3; object at x=4 does not
+        np.testing.assert_allclose(pmf, [0.0, 0.0, 1.0, 0.0])
+
+    def test_expected_count_matches_sum_of_pdoms(self):
+        """E[DomCount] equals the sum of the individual domination probabilities."""
+        database = discrete_sample_database(6, 3, seed=3)
+        rng = np.random.default_rng(3)
+        ref = DiscreteObject(rng.uniform(0, 1, size=(3, 2)))
+        target = 1
+        pmf = exact_domination_count_pmf(
+            database, database[target], ref, exclude_indices=[target]
+        )
+        expected_from_pmf = float(np.arange(pmf.shape[0]) @ pmf)
+        expected_from_pdoms = sum(
+            exact_pdom(database[i], database[target], ref)
+            for i in range(len(database))
+            if i != target
+        )
+        assert expected_from_pmf == pytest.approx(expected_from_pdoms, abs=1e-9)
+
+    def test_k_cap_truncation(self):
+        database = discrete_sample_database(8, 3, seed=5)
+        rng = np.random.default_rng(5)
+        ref = DiscreteObject(rng.uniform(0, 1, size=(2, 2)))
+        full = exact_domination_count_pmf(database, database[0], ref, exclude_indices=[0])
+        capped = exact_domination_count_pmf(
+            database, database[0], ref, exclude_indices=[0], k_cap=2
+        )
+        np.testing.assert_allclose(capped[:3], full[:3], atol=1e-12)
+        assert capped[-1] == pytest.approx(full[3:].sum())
+
+    def test_empty_candidate_set(self):
+        database = UncertainDatabase([DiscreteObject([[0.0, 0.0]])])
+        ref = DiscreteObject([[1.0, 1.0]])
+        pmf = exact_domination_count_pmf(database, database[0], ref, exclude_indices=[0])
+        np.testing.assert_allclose(pmf, [1.0])
+
+
+class TestMonteCarloPartner:
+    def test_pmf_close_to_exact_for_discrete_input(self):
+        """On an already-discrete database MC with matching samples is exact."""
+        database = discrete_sample_database(6, 4, seed=7)
+        rng = np.random.default_rng(7)
+        ref = DiscreteObject(rng.uniform(0, 1, size=(3, 2)))
+        mc = MonteCarloDominationCount(database, samples_per_object=100, seed=0)
+        result = mc.domination_count_pmf(0, ref)
+        exact = exact_domination_count_pmf(database, database[0], ref, exclude_indices=[0])
+        np.testing.assert_allclose(result.pmf, exact, atol=1e-9)
+
+    def test_pmf_converges_for_continuous_input(self):
+        database = uniform_rectangle_database(10, max_extent=0.4, seed=9)
+        query = random_reference_object(extent=0.3, seed=10)
+        target = 0
+        coarse = MonteCarloDominationCount(database, samples_per_object=20, seed=1)
+        fine = MonteCarloDominationCount(database, samples_per_object=200, seed=1)
+        pmf_coarse = coarse.domination_count_pmf(target, query).pmf
+        pmf_fine = fine.domination_count_pmf(target, query).pmf
+        # IDCA bounds computed on the continuous objects must bracket the
+        # high-sample MC estimate reasonably well
+        idca = IDCA(database)
+        run = idca.domination_count(target, query, stop=MaxIterations(6), max_iterations=6)
+        assert np.all(run.bounds.lower <= pmf_fine + 0.05)
+        assert np.all(run.bounds.upper >= pmf_fine - 0.05)
+        assert pmf_coarse.shape == pmf_fine.shape
+
+    def test_result_helpers(self):
+        database = discrete_sample_database(5, 3, seed=11)
+        rng = np.random.default_rng(11)
+        ref = DiscreteObject(rng.uniform(0, 1, size=(2, 2)))
+        mc = MonteCarloDominationCount(database, samples_per_object=50, seed=2)
+        result = mc.domination_count_pmf(1, ref)
+        assert 0.0 <= result.probability_less_than(2) <= 1.0
+        assert result.probability_less_than(0) == 0.0
+        assert 0.0 <= result.expected_count() <= len(database) - 1
+        assert result.elapsed_seconds >= 0.0
+        assert result.samples_per_object == 50
+
+    def test_runtime_grows_with_sample_size(self):
+        database = uniform_rectangle_database(20, max_extent=0.05, seed=13)
+        query = random_reference_object(extent=0.05, seed=14)
+        small = MonteCarloDominationCount(database, samples_per_object=10, seed=3)
+        large = MonteCarloDominationCount(database, samples_per_object=80, seed=3)
+        t_small = small.domination_count_pmf(0, query).elapsed_seconds
+        t_large = large.domination_count_pmf(0, query).elapsed_seconds
+        assert t_large > t_small
+
+    def test_invalid_sample_count_raises(self):
+        database = uniform_rectangle_database(5, seed=15)
+        with pytest.raises(ValueError):
+            MonteCarloDominationCount(database, samples_per_object=0)
+
+    def test_discretised_database_cached(self):
+        database = uniform_rectangle_database(5, seed=17)
+        mc = MonteCarloDominationCount(database, samples_per_object=10, seed=4)
+        assert mc.discretised_database is mc.discretised_database
+
+
+class TestMinMaxBaseline:
+    def test_optimal_prunes_at_least_as_much(self):
+        database = uniform_rectangle_database(800, max_extent=0.01, seed=19)
+        reference = random_reference_object(extent=0.01, seed=20)
+        target = target_by_mindist_rank(database, reference, rank=10)
+        comparison = compare_pruning_power(
+            database, database[target], reference, exclude_indices=[target]
+        )
+        assert comparison.optimal_candidates <= comparison.minmax_candidates
+        assert 0.0 <= comparison.improvement <= 1.0
+
+    def test_minmax_idca_uses_minmax_criterion(self):
+        database = uniform_rectangle_database(20, max_extent=0.02, seed=21)
+        idca = minmax_idca(database)
+        assert idca.criterion == "minmax"
+
+    def test_improvement_zero_when_no_candidates(self):
+        comparison = compare_pruning_power.__wrapped__ if hasattr(
+            compare_pruning_power, "__wrapped__"
+        ) else None
+        # direct construction of the dataclass covers the zero-division guard
+        from repro.baselines.minmax import PruningComparison
+
+        assert PruningComparison(0, 0).improvement == 0.0

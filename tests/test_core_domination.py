@@ -1,0 +1,204 @@
+"""Unit tests for complete / probabilistic domination (Section III)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import exact_pdom, monte_carlo_pdom
+from repro.core import (
+    complete_domination_filter,
+    complete_domination_scan,
+    pdom_bounds,
+    pdom_bounds_from_partitions,
+    probabilistic_domination_bounds,
+)
+from repro.geometry import Rectangle
+from repro.uncertain import (
+    BoxUniformObject,
+    DecompositionTree,
+    DiscreteObject,
+    UncertainDatabase,
+)
+
+
+def _box(lo, hi, **kwargs):
+    return BoxUniformObject(Rectangle.from_bounds(lo, hi), **kwargs)
+
+
+class TestCompleteDominationScan:
+    def test_scan_classification(self):
+        reference = Rectangle.from_bounds([0.0, 0.0], [1.0, 1.0]).to_array()
+        target = Rectangle.from_bounds([5.0, 0.0], [6.0, 1.0]).to_array()
+        candidates = np.stack(
+            [
+                Rectangle.from_bounds([1.5, 0.0], [2.0, 1.0]).to_array(),  # dominates
+                Rectangle.from_bounds([20.0, 0.0], [21.0, 1.0]).to_array(),  # dominated
+                Rectangle.from_bounds([4.0, 0.0], [7.0, 1.0]).to_array(),  # uncertain
+            ]
+        )
+        dominating, dominated = complete_domination_scan(candidates, target, reference)
+        np.testing.assert_array_equal(dominating, [True, False, False])
+        np.testing.assert_array_equal(dominated, [False, True, False])
+
+    def test_scan_minmax_weaker_or_equal(self):
+        rng = np.random.default_rng(0)
+        candidates = rng.uniform(0, 1, size=(100, 2, 1))
+        candidates = np.concatenate(
+            [candidates, candidates + rng.uniform(0.01, 0.2, size=(100, 2, 1))], axis=2
+        )
+        target = candidates[0]
+        reference = candidates[1]
+        opt_dom, _ = complete_domination_scan(candidates, target, reference, criterion="optimal")
+        mm_dom, _ = complete_domination_scan(candidates, target, reference, criterion="minmax")
+        # the optimal criterion detects at least every MinMax detection
+        assert np.all(opt_dom[mm_dom])
+
+
+class TestCompleteDominationFilter:
+    def setup_method(self):
+        self.reference = _box([0.0, 0.0], [1.0, 1.0], label="R")
+        objects = [
+            _box([1.5, 0.0], [2.0, 1.0], label="close"),      # always dominates target
+            _box([20.0, 0.0], [21.0, 1.0], label="far"),       # never dominates target
+            _box([4.0, 0.0], [7.0, 1.0], label="overlapping"),  # uncertain
+            _box([5.0, 0.0], [6.0, 1.0], label="target"),
+        ]
+        self.database = UncertainDatabase(objects)
+        self.target_index = 3
+
+    def test_counts(self):
+        result = complete_domination_filter(
+            self.database,
+            self.database[self.target_index],
+            self.reference,
+            exclude_indices={self.target_index},
+        )
+        assert result.complete_count == 1
+        assert list(result.influence_indices) == [2]
+        assert list(result.pruned_indices) == [1]
+        assert result.num_influence == 1
+
+    def test_exclusion_of_target(self):
+        result = complete_domination_filter(
+            self.database,
+            self.database[self.target_index],
+            self.reference,
+            exclude_indices={self.target_index},
+        )
+        assert self.target_index not in result.influence_indices
+        assert self.target_index not in result.pruned_indices
+
+    def test_without_exclusion_target_participates(self):
+        result = complete_domination_filter(
+            self.database, self.database[self.target_index], self.reference
+        )
+        # the target never dominates itself, but it is not excluded either
+        assert self.target_index in np.concatenate(
+            [result.influence_indices, result.pruned_indices]
+        )
+
+    def test_partition_of_database(self):
+        result = complete_domination_filter(
+            self.database,
+            self.database[self.target_index],
+            self.reference,
+            exclude_indices={self.target_index},
+        )
+        total = (
+            result.complete_count
+            + result.num_influence
+            + len(result.pruned_indices)
+        )
+        assert total == len(self.database) - 1
+
+
+class TestPDomBoundsFromPartitions:
+    def test_complete_domination_gives_one_one(self):
+        candidate = _box([1.5, 0.0], [2.0, 1.0])
+        target = Rectangle.from_bounds([5.0, 0.0], [6.0, 1.0]).to_array()
+        reference = Rectangle.from_bounds([0.0, 0.0], [1.0, 1.0]).to_array()
+        regions, masses = DecompositionTree(candidate).partitions_arrays(0)
+        lower, upper = pdom_bounds_from_partitions(regions, masses, target, reference)
+        assert lower == pytest.approx(1.0)
+        assert upper == pytest.approx(1.0)
+
+    def test_complete_dominated_gives_zero_zero(self):
+        candidate = _box([20.0, 0.0], [21.0, 1.0])
+        target = Rectangle.from_bounds([5.0, 0.0], [6.0, 1.0]).to_array()
+        reference = Rectangle.from_bounds([0.0, 0.0], [1.0, 1.0]).to_array()
+        regions, masses = DecompositionTree(candidate).partitions_arrays(2)
+        lower, upper = pdom_bounds_from_partitions(regions, masses, target, reference)
+        assert lower == pytest.approx(0.0)
+        assert upper == pytest.approx(0.0)
+
+    def test_uncertain_case_gives_wide_bounds_at_depth_zero(self):
+        candidate = _box([4.0, 0.0], [7.0, 1.0])
+        target = Rectangle.from_bounds([5.0, 0.0], [6.0, 1.0]).to_array()
+        reference = Rectangle.from_bounds([0.0, 0.0], [1.0, 1.0]).to_array()
+        regions, masses = DecompositionTree(candidate).partitions_arrays(0)
+        lower, upper = pdom_bounds_from_partitions(regions, masses, target, reference)
+        assert lower == pytest.approx(0.0)
+        assert upper == pytest.approx(1.0)
+
+    def test_bounds_tighten_with_depth(self):
+        candidate = _box([4.0, 0.0], [7.0, 1.0])
+        target = Rectangle.from_bounds([5.5, 0.2], [5.6, 0.3]).to_array()
+        reference = Rectangle.from_bounds([0.0, 0.0], [0.1, 0.1]).to_array()
+        tree = DecompositionTree(candidate)
+        widths = []
+        for depth in (0, 2, 4, 6):
+            regions, masses = tree.partitions_arrays(depth)
+            lower, upper = pdom_bounds_from_partitions(regions, masses, target, reference)
+            widths.append(upper - lower)
+        assert widths == sorted(widths, reverse=True)
+        assert widths[-1] < widths[0]
+
+
+class TestPDomBoundsObjects:
+    def test_bounds_bracket_exact_discrete_probability(self):
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            a = DiscreteObject(rng.uniform(0, 1, size=(6, 2)), rng.uniform(0.1, 1, size=6))
+            b = DiscreteObject(rng.uniform(0, 1, size=(5, 2)), rng.uniform(0.1, 1, size=5))
+            r = DiscreteObject(rng.uniform(0, 1, size=(4, 2)), rng.uniform(0.1, 1, size=4))
+            exact = exact_pdom(a, b, r)
+            lower, upper = pdom_bounds(
+                a, b, r, candidate_depth=4, target_depth=4, reference_depth=4
+            )
+            assert lower <= exact + 1e-9
+            assert upper >= exact - 1e-9
+
+    def test_bounds_bracket_monte_carlo_estimate_continuous(self):
+        rng = np.random.default_rng(4)
+        a = _box([0.2, 0.2], [0.5, 0.6])
+        b = _box([0.4, 0.1], [0.9, 0.5])
+        r = _box([0.0, 0.0], [0.3, 0.3])
+        estimate = monte_carlo_pdom(a, b, r, samples=20000, rng=rng)
+        lower, upper = probabilistic_domination_bounds(a, b, r, depth=5)
+        assert lower - 0.02 <= estimate <= upper + 0.02
+
+    def test_deeper_decomposition_never_loosens_bounds(self):
+        a = _box([0.2, 0.2], [0.5, 0.6])
+        b = _box([0.4, 0.1], [0.9, 0.5])
+        r = _box([0.0, 0.0], [0.3, 0.3])
+        previous_width = np.inf
+        for depth in (0, 2, 4):
+            lower, upper = probabilistic_domination_bounds(a, b, r, depth=depth)
+            width = upper - lower
+            assert width <= previous_width + 1e-9
+            previous_width = width
+
+    def test_upper_bound_complement_symmetry(self):
+        """PDomUB(A, B, R) = 1 - PDomLB(B, A, R) (Lemma 2) at equal depths."""
+        a = _box([0.1, 0.1], [0.4, 0.5])
+        b = _box([0.3, 0.2], [0.8, 0.6])
+        r = _box([0.0, 0.7], [0.2, 0.9])
+        lower_ab, upper_ab = probabilistic_domination_bounds(a, b, r, depth=3)
+        lower_ba, upper_ba = probabilistic_domination_bounds(b, a, r, depth=3)
+        assert upper_ab <= 1.0 - lower_ba + 1e-9
+
+    def test_certain_points_give_exact_zero_or_one(self):
+        a = _box([1.0, 0.0], [1.0, 0.0])
+        b = _box([2.0, 0.0], [2.0, 0.0])
+        r = _box([0.0, 0.0], [0.0, 0.0])
+        assert probabilistic_domination_bounds(a, b, r, depth=0) == (1.0, 1.0)
+        assert probabilistic_domination_bounds(b, a, r, depth=0) == (0.0, 0.0)

@@ -1,0 +1,168 @@
+"""Tests for dataset and workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    IIPSimulationConfig,
+    clustered_rectangle_database,
+    discrete_sample_database,
+    gaussian_object_database,
+    generate_query_workload,
+    iip_iceberg_database,
+    random_reference_object,
+    target_by_mindist_rank,
+    uniform_rectangle_database,
+)
+from repro.geometry import min_dist_arrays
+from repro.uncertain import (
+    BoxUniformObject,
+    DiscreteObject,
+    TruncatedGaussianObject,
+)
+
+
+class TestSyntheticUniform:
+    def test_size_and_type(self):
+        db = uniform_rectangle_database(200, max_extent=0.004, seed=0)
+        assert len(db) == 200
+        assert all(isinstance(obj, BoxUniformObject) for obj in db)
+
+    def test_extent_bound_respected(self):
+        db = uniform_rectangle_database(500, max_extent=0.004, seed=1)
+        extents = db.mbrs()[..., 1] - db.mbrs()[..., 0]
+        assert extents.max() <= 0.004 + 1e-12
+
+    def test_centers_in_unit_cube(self):
+        db = uniform_rectangle_database(300, max_extent=0.01, seed=2)
+        centers = 0.5 * (db.mbrs()[..., 0] + db.mbrs()[..., 1])
+        assert centers.min() >= 0.0 - 0.01
+        assert centers.max() <= 1.0 + 0.01
+
+    def test_reproducible_with_seed(self):
+        a = uniform_rectangle_database(50, seed=7).mbrs()
+        b = uniform_rectangle_database(50, seed=7).mbrs()
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = uniform_rectangle_database(50, seed=7).mbrs()
+        b = uniform_rectangle_database(50, seed=8).mbrs()
+        assert not np.array_equal(a, b)
+
+    def test_dimensionality_parameter(self):
+        db = uniform_rectangle_database(20, dimensions=3, seed=3)
+        assert db.dimensions == 3
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            uniform_rectangle_database(0)
+        with pytest.raises(ValueError):
+            uniform_rectangle_database(10, max_extent=-0.1)
+
+
+class TestOtherSynthetics:
+    def test_clustered_database(self):
+        db = clustered_rectangle_database(200, num_clusters=5, seed=4)
+        assert len(db) == 200
+        centers = 0.5 * (db.mbrs()[..., 0] + db.mbrs()[..., 1])
+        assert centers.min() >= -1e-9 and centers.max() <= 1.0 + 1e-9
+
+    def test_clustered_invalid_clusters(self):
+        with pytest.raises(ValueError):
+            clustered_rectangle_database(10, num_clusters=0)
+
+    def test_gaussian_database(self):
+        db = gaussian_object_database(50, max_std=0.01, seed=5)
+        assert len(db) == 50
+        assert all(isinstance(obj, TruncatedGaussianObject) for obj in db)
+
+    def test_discrete_database(self):
+        db = discrete_sample_database(30, samples_per_object=8, seed=6)
+        assert len(db) == 30
+        assert all(isinstance(obj, DiscreteObject) for obj in db)
+        assert all(obj.points.shape == (8, 2) for obj in db)
+
+
+class TestIIPSimulation:
+    def test_default_matches_paper_setup(self):
+        db = iip_iceberg_database(IIPSimulationConfig(num_objects=500, seed=1))
+        assert len(db) == 500
+        assert all(isinstance(obj, TruncatedGaussianObject) for obj in db)
+
+    def test_max_extent_normalisation(self):
+        config = IIPSimulationConfig(num_objects=400, max_extent=0.0004, seed=2)
+        db = iip_iceberg_database(config)
+        extents = db.mbrs()[..., 1] - db.mbrs()[..., 0]
+        assert extents.max() <= config.max_extent + 1e-9
+        # the largest object should actually reach (close to) the maximum
+        assert extents.max() >= 0.5 * config.max_extent
+
+    def test_extent_distribution_is_skewed(self):
+        """Days-since-sighting is exponential, so most objects are small."""
+        db = iip_iceberg_database(IIPSimulationConfig(num_objects=1000, seed=3))
+        extents = (db.mbrs()[..., 1] - db.mbrs()[..., 0]).max(axis=1)
+        assert np.median(extents) < 0.5 * extents.max()
+
+    def test_positions_in_unit_square(self):
+        db = iip_iceberg_database(IIPSimulationConfig(num_objects=300, seed=4))
+        mbrs = db.mbrs()
+        assert mbrs[..., 0].min() >= -0.01
+        assert mbrs[..., 1].max() <= 1.01
+
+    def test_reproducibility(self):
+        a = iip_iceberg_database(IIPSimulationConfig(num_objects=100, seed=5)).mbrs()
+        b = iip_iceberg_database(IIPSimulationConfig(num_objects=100, seed=5)).mbrs()
+        np.testing.assert_array_equal(a, b)
+
+    def test_invalid_size_raises(self):
+        with pytest.raises(ValueError):
+            iip_iceberg_database(IIPSimulationConfig(num_objects=0))
+
+
+class TestWorkloads:
+    def test_target_by_mindist_rank(self):
+        db = uniform_rectangle_database(100, max_extent=0.01, seed=9)
+        ref = random_reference_object(extent=0.01, seed=10)
+        dists = min_dist_arrays(db.mbrs(), ref.mbr.to_array(), 2.0)
+        order = np.argsort(dists, kind="stable")
+        assert target_by_mindist_rank(db, ref, rank=1) == order[0]
+        assert target_by_mindist_rank(db, ref, rank=10) == order[9]
+
+    def test_target_rank_exclusion(self):
+        db = uniform_rectangle_database(50, max_extent=0.01, seed=11)
+        ref = random_reference_object(extent=0.01, seed=12)
+        first = target_by_mindist_rank(db, ref, rank=1)
+        second = target_by_mindist_rank(db, ref, rank=1, exclude={first})
+        assert second != first
+
+    def test_target_rank_validation(self):
+        db = uniform_rectangle_database(10, seed=13)
+        ref = random_reference_object(seed=14)
+        with pytest.raises(ValueError):
+            target_by_mindist_rank(db, ref, rank=0)
+        with pytest.raises(ValueError):
+            target_by_mindist_rank(db, ref, rank=11)
+
+    def test_random_reference_object_extent(self):
+        ref = random_reference_object(extent=0.02, seed=15)
+        assert np.all(ref.mbr.extents <= 0.02 + 1e-12)
+        assert ref.dimensions == 2
+
+    def test_generate_query_workload(self):
+        db = uniform_rectangle_database(200, max_extent=0.01, seed=16)
+        workload = generate_query_workload(db, num_queries=5, target_rank=10, seed=17)
+        assert len(workload) == 5
+        for pair in workload:
+            assert 0 <= pair.target_index < len(db)
+            assert pair.reference.dimensions == db.dimensions
+
+    def test_workload_reproducible(self):
+        db = uniform_rectangle_database(100, max_extent=0.01, seed=18)
+        a = generate_query_workload(db, num_queries=3, seed=19)
+        b = generate_query_workload(db, num_queries=3, seed=19)
+        assert [p.target_index for p in a] == [p.target_index for p in b]
+
+    def test_workload_invalid_count_raises(self):
+        db = uniform_rectangle_database(10, seed=20)
+        with pytest.raises(ValueError):
+            generate_query_workload(db, num_queries=0)

@@ -1,0 +1,117 @@
+"""Tests for the JSON persistence of uncertain databases."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    load_database,
+    object_from_dict,
+    object_to_dict,
+    save_database,
+    uniform_rectangle_database,
+)
+from repro.geometry import Rectangle
+from repro.uncertain import (
+    BoxUniformObject,
+    DiscreteObject,
+    HistogramObject,
+    MixtureObject,
+    PointObject,
+    TruncatedGaussianObject,
+    UncertainDatabase,
+)
+
+
+def _mixed_database():
+    box = BoxUniformObject(
+        Rectangle.from_bounds([0.1, 0.2], [0.3, 0.4]),
+        label="box",
+        existence_probability=0.8,
+    )
+    gauss = TruncatedGaussianObject([0.5, 0.5], [0.01, 0.02], label="gauss")
+    disc = DiscreteObject(
+        [[0.7, 0.7], [0.72, 0.69]], [0.25, 0.75], label="disc"
+    )
+    hist = HistogramObject(
+        edges=[[0.0, 0.1, 0.2], [0.5, 0.6]],
+        masses=[[1.0, 3.0], [1.0]],
+        label="hist",
+    )
+    mixture = MixtureObject([box, disc], [0.4, 0.6], label="mixture")
+    point = PointObject([0.9, 0.9], label="point")
+    return UncertainDatabase([box, gauss, disc, hist, mixture, point])
+
+
+def _assert_objects_equivalent(original, restored, rng):
+    assert type(restored).__name__ in {type(original).__name__, "DiscreteObject"}
+    assert restored.label == original.label
+    assert restored.existence_probability == pytest.approx(
+        original.existence_probability
+    )
+    np.testing.assert_allclose(restored.mbr.to_array(), original.mbr.to_array())
+    np.testing.assert_allclose(restored.mean(), original.mean(), atol=1e-9)
+    # the mass of a random region is preserved
+    region = Rectangle.from_bounds(
+        original.mbr.lows - 0.01, original.mbr.center + 0.005
+    )
+    assert restored.mass_in(region) == pytest.approx(original.mass_in(region), abs=1e-9)
+
+
+class TestRoundTrip:
+    def test_every_object_type_round_trips(self, tmp_path, rng):
+        database = _mixed_database()
+        path = tmp_path / "db.json"
+        save_database(database, path)
+        restored = load_database(path)
+        assert len(restored) == len(database)
+        for original, back in zip(database, restored):
+            _assert_objects_equivalent(original, back, rng)
+
+    def test_generated_database_round_trip(self, tmp_path):
+        database = uniform_rectangle_database(50, max_extent=0.01, seed=3)
+        path = tmp_path / "synthetic.json"
+        save_database(database, path)
+        restored = load_database(path)
+        np.testing.assert_allclose(restored.mbrs(), database.mbrs())
+
+    def test_object_dict_round_trip_without_files(self):
+        obj = TruncatedGaussianObject([1.0, 2.0], [0.1, 0.2], label="g")
+        restored = object_from_dict(object_to_dict(obj))
+        np.testing.assert_allclose(restored.mbr.to_array(), obj.mbr.to_array())
+
+    def test_file_is_valid_json_with_version(self, tmp_path):
+        database = _mixed_database()
+        path = tmp_path / "db.json"
+        save_database(database, path)
+        payload = json.loads(path.read_text())
+        assert payload["format_version"] == 1
+        assert payload["dimensions"] == 2
+        assert len(payload["objects"]) == len(database)
+
+
+class TestErrorHandling:
+    def test_unknown_type_raises(self):
+        with pytest.raises(ValueError):
+            object_from_dict({"type": "bogus"})
+
+    def test_unsupported_version_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format_version": 99, "objects": []}))
+        with pytest.raises(ValueError):
+            load_database(path)
+
+    def test_empty_database_raises(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_text(json.dumps({"format_version": 1, "objects": []}))
+        with pytest.raises(ValueError):
+            load_database(path)
+
+    def test_unserialisable_object_raises(self):
+        class Custom(BoxUniformObject):
+            pass
+
+        custom = Custom(Rectangle.from_bounds([0.0], [1.0]))
+        # subclasses of supported types serialise as their base behaviour
+        assert object_to_dict(custom)["type"] == "box_uniform"

@@ -1,0 +1,220 @@
+"""Unit tests for domination-count bounds (Section IV-D/E)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DominationCountBounds,
+    combine_weighted_bounds,
+    domination_count_bounds,
+    poisson_binomial_pmf,
+)
+
+
+class TestDominationCountBounds:
+    def test_exact_constructor(self):
+        pmf = np.array([0.2, 0.5, 0.3])
+        bounds = DominationCountBounds.exact(pmf)
+        assert bounds.is_exact()
+        assert bounds.uncertainty() == pytest.approx(0.0)
+        assert bounds.pmf_bounds(1) == (0.5, 0.5)
+
+    def test_vacuous_constructor(self):
+        bounds = DominationCountBounds.vacuous(4)
+        assert len(bounds) == 4
+        assert bounds.uncertainty() == pytest.approx(4.0)
+        assert not bounds.is_exact()
+
+    def test_vacuous_invalid_length_raises(self):
+        with pytest.raises(ValueError):
+            DominationCountBounds.vacuous(0)
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            DominationCountBounds(lower=np.array([0.5]), upper=np.array([0.4]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            DominationCountBounds(lower=np.zeros(2), upper=np.ones(3))
+
+    def test_pmf_bounds_out_of_range(self):
+        bounds = DominationCountBounds.exact([1.0])
+        assert bounds.pmf_bounds(5) == (0.0, 0.0)
+        with pytest.raises(ValueError):
+            bounds.pmf_bounds(-1)
+
+    def test_cdf_bounds_exact_case(self):
+        pmf = np.array([0.1, 0.2, 0.3, 0.4])
+        bounds = DominationCountBounds.exact(pmf)
+        cdf = np.cumsum(pmf)
+        for k in range(4):
+            lower, upper = bounds.cdf_bounds(k)
+            assert lower == pytest.approx(cdf[k])
+            assert upper == pytest.approx(cdf[k])
+
+    def test_cdf_bounds_use_complementary_mass(self):
+        # lower bounds all zero, but upper tail mass restricts the CDF too
+        lower = np.zeros(3)
+        upper = np.array([0.1, 0.2, 1.0])
+        bounds = DominationCountBounds(lower, upper)
+        cdf_lower, cdf_upper = bounds.cdf_bounds(1)
+        assert cdf_lower == pytest.approx(0.0)
+        assert cdf_upper == pytest.approx(0.3)
+        cdf_lower, _ = bounds.cdf_bounds(0)
+        # P(count <= 0) >= 1 - upper[1] - upper[2] = -0.2 -> clamped to 0
+        assert cdf_lower == pytest.approx(0.0)
+
+    def test_less_than_is_shifted_cdf(self):
+        pmf = np.array([0.25, 0.25, 0.5])
+        bounds = DominationCountBounds.exact(pmf)
+        assert bounds.less_than(0) == (0.0, 0.0)
+        assert bounds.less_than(1)[0] == pytest.approx(0.25)
+        assert bounds.less_than(2)[0] == pytest.approx(0.5)
+        assert bounds.less_than(3)[0] == pytest.approx(1.0)
+
+    def test_expected_count_bounds_exact(self):
+        pmf = np.array([0.2, 0.3, 0.5])
+        bounds = DominationCountBounds.exact(pmf)
+        lower, upper = bounds.expected_count_bounds()
+        expected = 0.3 + 2 * 0.5
+        assert lower == pytest.approx(expected)
+        assert upper == pytest.approx(expected)
+
+    def test_expected_count_bounds_reject_truncated(self):
+        bounds = DominationCountBounds(np.zeros(3), np.ones(3), k_cap=1)
+        with pytest.raises(ValueError):
+            bounds.expected_count_bounds()
+
+    def test_truncated_query_above_cap_raises(self):
+        bounds = DominationCountBounds(np.zeros(5), np.ones(5), k_cap=2)
+        with pytest.raises(ValueError):
+            bounds.pmf_bounds(3)
+
+
+class TestDominationCountBuilder:
+    def test_exact_probabilities_give_poisson_binomial(self):
+        probs = [0.3, 0.6, 0.9]
+        bounds = domination_count_bounds(probs, probs)
+        exact = poisson_binomial_pmf(probs)
+        np.testing.assert_allclose(bounds.lower, exact, atol=1e-12)
+        np.testing.assert_allclose(bounds.upper, exact, atol=1e-12)
+
+    def test_complete_count_shifts_pmf(self):
+        probs = [0.5]
+        bounds = domination_count_bounds(probs, probs, complete_count=2)
+        assert len(bounds) == 4
+        np.testing.assert_allclose(bounds.lower, [0.0, 0.0, 0.5, 0.5])
+        # counts below the complete-domination count are impossible
+        assert bounds.upper[0] == 0.0
+        assert bounds.upper[1] == 0.0
+
+    def test_total_objects_pads_with_impossible_counts(self):
+        bounds = domination_count_bounds([0.5], [0.5], complete_count=1, total_objects=5)
+        assert len(bounds) == 6
+        # counts above complete + influence are impossible
+        np.testing.assert_allclose(bounds.upper[3:], 0.0)
+
+    def test_no_influence_objects(self):
+        bounds = domination_count_bounds([], [], complete_count=3, total_objects=5)
+        assert bounds.pmf_bounds(3) == (1.0, 1.0)
+        assert bounds.pmf_bounds(2) == (0.0, 0.0)
+        assert bounds.pmf_bounds(4) == (0.0, 0.0)
+
+    def test_bounds_bracket_truth_for_any_consistent_probabilities(self):
+        rng = np.random.default_rng(0)
+        lower = rng.uniform(0, 0.5, size=6)
+        upper = np.minimum(1.0, lower + rng.uniform(0, 0.5, size=6))
+        bounds = domination_count_bounds(lower, upper, complete_count=2)
+        for _ in range(20):
+            truth = rng.uniform(lower, upper)
+            exact = poisson_binomial_pmf(truth)
+            shifted = np.concatenate([np.zeros(2), exact])
+            assert np.all(bounds.lower <= shifted + 1e-9)
+            assert np.all(bounds.upper >= shifted - 1e-9)
+
+    def test_k_cap_bounds_match_untruncated_below_cap(self):
+        rng = np.random.default_rng(1)
+        lower = rng.uniform(0, 0.5, size=10)
+        upper = np.minimum(1.0, lower + rng.uniform(0, 0.5, size=10))
+        full = domination_count_bounds(lower, upper, complete_count=1)
+        k = 4
+        capped = domination_count_bounds(lower, upper, complete_count=1, k_cap=k)
+        for count in range(k + 1):
+            assert capped.pmf_bounds(count)[0] == pytest.approx(full.pmf_bounds(count)[0])
+            assert capped.pmf_bounds(count)[1] == pytest.approx(full.pmf_bounds(count)[1])
+            assert capped.less_than(count)[0] == pytest.approx(full.less_than(count)[0])
+            assert capped.less_than(count)[1] == pytest.approx(full.less_than(count)[1])
+
+    def test_k_cap_below_complete_count(self):
+        bounds = domination_count_bounds([0.5, 0.5], [0.7, 0.7], complete_count=4, k_cap=2)
+        # every count up to the cap is impossible: fewer objects than the
+        # complete-domination count can never dominate
+        for count in range(3):
+            assert bounds.pmf_bounds(count) == (0.0, 0.0)
+        assert bounds.less_than(2) == (0.0, 0.0)
+
+    def test_mismatched_probability_lengths_raise(self):
+        with pytest.raises(ValueError):
+            domination_count_bounds([0.5], [0.5, 0.6])
+
+    def test_negative_complete_count_raises(self):
+        with pytest.raises(ValueError):
+            domination_count_bounds([0.5], [0.5], complete_count=-1)
+
+    def test_too_small_total_objects_raises(self):
+        with pytest.raises(ValueError):
+            domination_count_bounds([0.5, 0.5], [0.5, 0.5], complete_count=2, total_objects=3)
+
+
+class TestCombineWeightedBounds:
+    def test_single_part_identity(self):
+        part = DominationCountBounds.exact([0.4, 0.6])
+        combined = combine_weighted_bounds([(1.0, part)])
+        np.testing.assert_allclose(combined.lower, part.lower)
+        np.testing.assert_allclose(combined.upper, part.upper)
+
+    def test_two_exact_parts_mix(self):
+        part_a = DominationCountBounds.exact([1.0, 0.0])
+        part_b = DominationCountBounds.exact([0.0, 1.0])
+        combined = combine_weighted_bounds([(0.25, part_a), (0.75, part_b)])
+        np.testing.assert_allclose(combined.lower, [0.25, 0.75])
+        np.testing.assert_allclose(combined.upper, [0.25, 0.75])
+
+    def test_missing_weight_is_conservative(self):
+        part = DominationCountBounds.exact([1.0, 0.0])
+        combined = combine_weighted_bounds([(0.5, part)])
+        # the unaccounted half of the worlds could have any count
+        np.testing.assert_allclose(combined.lower, [0.5, 0.0])
+        np.testing.assert_allclose(combined.upper, [1.0, 0.5])
+
+    def test_empty_parts_raise(self):
+        with pytest.raises(ValueError):
+            combine_weighted_bounds([])
+
+    def test_mismatched_lengths_raise(self):
+        part_a = DominationCountBounds.exact([1.0, 0.0])
+        part_b = DominationCountBounds.exact([1.0, 0.0, 0.0])
+        with pytest.raises(ValueError):
+            combine_weighted_bounds([(0.5, part_a), (0.5, part_b)])
+
+    def test_excessive_weight_raises(self):
+        part = DominationCountBounds.exact([1.0, 0.0])
+        with pytest.raises(ValueError):
+            combine_weighted_bounds([(0.8, part), (0.8, part)])
+
+    def test_negative_weight_raises(self):
+        part = DominationCountBounds.exact([1.0, 0.0])
+        with pytest.raises(ValueError):
+            combine_weighted_bounds([(-0.1, part), (1.1, part)])
+
+    def test_weighted_bracket_property(self):
+        """If each part brackets its conditional truth, the mix brackets the mixture."""
+        rng = np.random.default_rng(2)
+        truth_a = poisson_binomial_pmf(rng.uniform(0, 1, size=3))
+        truth_b = poisson_binomial_pmf(rng.uniform(0, 1, size=3))
+        part_a = DominationCountBounds(truth_a * 0.9, np.minimum(1.0, truth_a * 1.1 + 0.01))
+        part_b = DominationCountBounds(truth_b * 0.9, np.minimum(1.0, truth_b * 1.1 + 0.01))
+        combined = combine_weighted_bounds([(0.3, part_a), (0.7, part_b)])
+        mixture = 0.3 * truth_a + 0.7 * truth_b
+        assert np.all(combined.lower <= mixture + 1e-9)
+        assert np.all(combined.upper >= mixture - 1e-9)

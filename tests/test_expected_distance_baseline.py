@@ -1,0 +1,77 @@
+"""Tests for the expected-distance kNN baseline and its semantic shortcomings."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import exact_domination_count_pmf, expected_distance_knn
+from repro.datasets import uniform_rectangle_database
+from repro.queries import probabilistic_knn_threshold
+from repro.uncertain import DiscreteObject, PointObject, UncertainDatabase
+
+
+class TestExpectedDistanceKNN:
+    def test_certain_data_matches_classic_knn(self):
+        rng = np.random.default_rng(0)
+        points = rng.uniform(0, 1, size=(30, 2))
+        database = UncertainDatabase([PointObject(p) for p in points])
+        query = PointObject([0.5, 0.5])
+        result = expected_distance_knn(database, query, k=5)
+        expected = list(np.argsort(np.linalg.norm(points - 0.5, axis=1))[:5])
+        assert result.result_indices() == expected
+
+    def test_distances_are_sorted(self):
+        database = uniform_rectangle_database(40, max_extent=0.05, seed=1)
+        query = PointObject([0.5, 0.5])
+        result = expected_distance_knn(database, query, k=10)
+        assert result.expected_distances == sorted(result.expected_distances)
+
+    def test_query_index_excluded(self):
+        database = uniform_rectangle_database(20, max_extent=0.05, seed=2)
+        result = expected_distance_knn(database, 3, k=5)
+        assert 3 not in result.result_indices()
+
+    def test_k_larger_than_database(self):
+        database = uniform_rectangle_database(5, max_extent=0.05, seed=3)
+        query = PointObject([0.5, 0.5])
+        result = expected_distance_knn(database, query, k=50)
+        assert len(result.result_indices()) == 5
+
+    def test_invalid_k_raises(self):
+        database = uniform_rectangle_database(5, seed=4)
+        with pytest.raises(ValueError):
+            expected_distance_knn(database, PointObject([0.5, 0.5]), k=0)
+
+    def test_violates_possible_world_semantics(self):
+        """The motivating example: expected distances can rank an object first
+        even though it is almost never the actual nearest neighbour.
+
+        Object A sits at distance 1 with probability 0.9 and distance 10 with
+        probability 0.1 (expected distance 1.9); objects B and C are certain at
+        distance 2.  Expected distances rank A as the 1-NN, yet in the possible
+        world semantics A is the nearest neighbour with probability 0.9 but the
+        k=1 result under a high threshold still differs from the deterministic
+        top-1 once A's bad world materialises; more strikingly, a certain
+        object at distance 1.95 loses by expected distance against A although
+        it is closer than A with probability 0.1 only... The concrete check
+        below: with A = {1 (p=0.1), 10 (p=0.9)} (expected distance 9.1 > 2) the
+        expected-distance ranking drops A although A is the true nearest
+        neighbour in 10% of the worlds — the probabilistic query with a low
+        threshold keeps it.
+        """
+        query = PointObject([0.0, 0.0])
+        a = DiscreteObject([[1.0, 0.0], [10.0, 0.0]], [0.1, 0.9], label="A")
+        b = PointObject([2.0, 0.0], label="B")
+        c = PointObject([3.0, 0.0], label="C")
+        database = UncertainDatabase([a, b, c])
+
+        heuristic = expected_distance_knn(database, query, k=1)
+        assert heuristic.result_indices() == [1]  # B wins on expected distance
+
+        probabilistic = probabilistic_knn_threshold(
+            database, query, k=1, tau=0.1, max_iterations=10
+        )
+        # under possible-world semantics A is a 1-NN with probability 10%,
+        # which the threshold query reports and the heuristic cannot see
+        assert 0 in probabilistic.result_indices()
+        exact = exact_domination_count_pmf(database, a, query, exclude_indices=[0])
+        assert exact[0] == pytest.approx(0.1)

@@ -1,0 +1,252 @@
+"""Unit tests for (uncertain) generating functions."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    UncertainGeneratingFunction,
+    poisson_binomial_pmf,
+    regular_gf_bounds,
+)
+
+
+def brute_force_pmf(probs):
+    """Exact PMF of a Bernoulli sum by enumerating all outcome combinations."""
+    n = len(probs)
+    pmf = np.zeros(n + 1)
+    for outcome in itertools.product([0, 1], repeat=n):
+        prob = 1.0
+        for x, p in zip(outcome, probs):
+            prob *= p if x else (1.0 - p)
+        pmf[sum(outcome)] += prob
+    return pmf
+
+
+class TestPoissonBinomial:
+    def test_empty_input(self):
+        np.testing.assert_allclose(poisson_binomial_pmf([]), [1.0])
+
+    def test_single_variable(self):
+        np.testing.assert_allclose(poisson_binomial_pmf([0.3]), [0.7, 0.3])
+
+    def test_paper_example_2(self):
+        """Example 2 of the paper: P(X1)=0.2, P(X2)=0.1, P(X3)=0.3.
+
+        The paper reports the x^1 coefficient of F3 as 0.418, which is an
+        arithmetic slip: 0.26 * 0.7 + 0.72 * 0.3 = 0.398 (and the brute-force
+        enumeration agrees).  We assert the correct values.
+        """
+        pmf = poisson_binomial_pmf([0.2, 0.1, 0.3])
+        np.testing.assert_allclose(pmf, brute_force_pmf([0.2, 0.1, 0.3]), atol=1e-12)
+        assert pmf[0] == pytest.approx(0.504)
+        assert pmf[1] == pytest.approx(0.398)
+        assert pmf[0] + pmf[1] == pytest.approx(0.902)
+
+    def test_matches_brute_force(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            probs = rng.uniform(0, 1, size=6)
+            np.testing.assert_allclose(
+                poisson_binomial_pmf(probs), brute_force_pmf(probs), atol=1e-12
+            )
+
+    def test_sums_to_one(self):
+        rng = np.random.default_rng(1)
+        probs = rng.uniform(0, 1, size=25)
+        assert poisson_binomial_pmf(probs).sum() == pytest.approx(1.0)
+
+    def test_all_zero_probabilities(self):
+        pmf = poisson_binomial_pmf([0.0, 0.0, 0.0])
+        np.testing.assert_allclose(pmf, [1.0, 0.0, 0.0, 0.0])
+
+    def test_all_one_probabilities(self):
+        pmf = poisson_binomial_pmf([1.0, 1.0])
+        np.testing.assert_allclose(pmf, [0.0, 0.0, 1.0])
+
+    def test_truncation_preserves_prefix(self):
+        rng = np.random.default_rng(2)
+        probs = rng.uniform(0, 1, size=12)
+        full = poisson_binomial_pmf(probs)
+        truncated = poisson_binomial_pmf(probs, k_cap=3)
+        np.testing.assert_allclose(truncated[:4], full[:4], atol=1e-12)
+        assert truncated[-1] == pytest.approx(full[4:].sum())
+
+    def test_truncation_mass_conserved(self):
+        probs = [0.5] * 10
+        assert poisson_binomial_pmf(probs, k_cap=2).sum() == pytest.approx(1.0)
+
+    def test_invalid_probability_raises(self):
+        with pytest.raises(ValueError):
+            poisson_binomial_pmf([1.5])
+
+    def test_negative_k_cap_raises(self):
+        with pytest.raises(ValueError):
+            poisson_binomial_pmf([0.5], k_cap=-1)
+
+
+class TestUncertainGeneratingFunction:
+    def test_paper_example_3(self):
+        """Example 3: bounds [0.2, 0.5] and [0.6, 0.8]."""
+        ugf = UncertainGeneratingFunction([0.2, 0.6], [0.5, 0.8])
+        assert ugf.count_lower_bound(2) == pytest.approx(0.12)
+        assert ugf.count_upper_bound(2) == pytest.approx(0.40)
+        assert ugf.count_lower_bound(1) == pytest.approx(0.34)
+        assert ugf.count_upper_bound(1) == pytest.approx(0.78)
+        assert ugf.count_lower_bound(0) == pytest.approx(0.10)
+        assert ugf.count_upper_bound(0) == pytest.approx(0.32)
+
+    def test_total_mass_is_one(self):
+        rng = np.random.default_rng(3)
+        lower = rng.uniform(0, 1, size=15)
+        upper = np.minimum(1.0, lower + rng.uniform(0, 0.3, size=15))
+        ugf = UncertainGeneratingFunction(lower, upper)
+        assert ugf.total_mass() == pytest.approx(1.0)
+
+    def test_degenerates_to_regular_gf(self):
+        rng = np.random.default_rng(4)
+        probs = rng.uniform(0, 1, size=10)
+        ugf = UncertainGeneratingFunction.from_exact(probs)
+        lower, upper = ugf.pmf_bounds()
+        exact = poisson_binomial_pmf(probs)
+        np.testing.assert_allclose(lower, exact, atol=1e-12)
+        np.testing.assert_allclose(upper, exact, atol=1e-12)
+
+    def test_bounds_bracket_every_consistent_probability_vector(self):
+        """Any true probabilities inside the per-variable bounds must be bracketed."""
+        rng = np.random.default_rng(5)
+        lower = rng.uniform(0, 0.6, size=7)
+        upper = np.minimum(1.0, lower + rng.uniform(0, 0.4, size=7))
+        ugf = UncertainGeneratingFunction(lower, upper)
+        pmf_lower, pmf_upper = ugf.pmf_bounds()
+        for _ in range(25):
+            truth = rng.uniform(lower, upper)
+            exact = poisson_binomial_pmf(truth)
+            assert np.all(pmf_lower <= exact + 1e-9)
+            assert np.all(pmf_upper >= exact - 1e-9)
+
+    def test_cdf_bounds_bracket_exact_cdf(self):
+        rng = np.random.default_rng(6)
+        lower = rng.uniform(0, 0.5, size=6)
+        upper = np.minimum(1.0, lower + rng.uniform(0, 0.5, size=6))
+        ugf = UncertainGeneratingFunction(lower, upper)
+        truth = rng.uniform(lower, upper)
+        exact = np.cumsum(poisson_binomial_pmf(truth))
+        for k in range(6):
+            assert ugf.cdf_lower_bound(k) <= exact[k] + 1e-9
+            assert ugf.cdf_upper_bound(k) >= exact[k] - 1e-9
+
+    def test_cdf_bounds_monotone_in_k(self):
+        ugf = UncertainGeneratingFunction([0.2, 0.4, 0.6], [0.5, 0.7, 0.9])
+        lower = [ugf.cdf_lower_bound(k) for k in range(4)]
+        upper = [ugf.cdf_upper_bound(k) for k in range(4)]
+        assert lower == sorted(lower)
+        assert upper == sorted(upper)
+        assert upper[3] == pytest.approx(1.0)
+
+    def test_lower_bounds_never_exceed_upper_bounds(self):
+        rng = np.random.default_rng(7)
+        lower = rng.uniform(0, 1, size=9)
+        upper = np.minimum(1.0, lower + rng.uniform(0, 0.5, size=9))
+        ugf = UncertainGeneratingFunction(lower, upper)
+        pmf_lower, pmf_upper = ugf.pmf_bounds()
+        assert np.all(pmf_lower <= pmf_upper + 1e-12)
+
+    def test_zero_variables(self):
+        ugf = UncertainGeneratingFunction([], [])
+        assert ugf.count_lower_bound(0) == pytest.approx(1.0)
+        assert ugf.count_upper_bound(0) == pytest.approx(1.0)
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            UncertainGeneratingFunction([0.5], [0.5, 0.6])
+
+    def test_lower_above_upper_raises(self):
+        with pytest.raises(ValueError):
+            UncertainGeneratingFunction([0.7], [0.3])
+
+    def test_invalid_probability_raises(self):
+        with pytest.raises(ValueError):
+            UncertainGeneratingFunction([-0.1], [0.5])
+
+    def test_negative_count_raises(self):
+        ugf = UncertainGeneratingFunction([0.5], [0.5])
+        with pytest.raises(ValueError):
+            ugf.count_lower_bound(-1)
+
+
+class TestTruncatedUGF:
+    def test_truncated_bounds_match_full_bounds_below_cap(self):
+        rng = np.random.default_rng(8)
+        lower = rng.uniform(0, 0.6, size=20)
+        upper = np.minimum(1.0, lower + rng.uniform(0, 0.4, size=20))
+        full = UncertainGeneratingFunction(lower, upper)
+        k = 4
+        truncated = UncertainGeneratingFunction(lower, upper, k_cap=k)
+        for count in range(k + 1):
+            assert truncated.count_lower_bound(count) == pytest.approx(
+                full.count_lower_bound(count)
+            )
+            assert truncated.count_upper_bound(count) == pytest.approx(
+                full.count_upper_bound(count)
+            )
+            assert truncated.cdf_lower_bound(count) == pytest.approx(
+                full.cdf_lower_bound(count)
+            )
+            assert truncated.cdf_upper_bound(count) == pytest.approx(
+                full.cdf_upper_bound(count)
+            )
+
+    def test_truncated_query_above_cap_raises(self):
+        ugf = UncertainGeneratingFunction([0.5] * 10, [0.6] * 10, k_cap=3)
+        with pytest.raises(ValueError):
+            ugf.count_lower_bound(4)
+
+    def test_truncated_mass_preserved(self):
+        ugf = UncertainGeneratingFunction([0.3] * 30, [0.5] * 30, k_cap=2)
+        assert ugf.total_mass() == pytest.approx(1.0)
+
+    def test_cap_larger_than_n_is_harmless(self):
+        lower, upper = [0.2, 0.4], [0.3, 0.9]
+        a = UncertainGeneratingFunction(lower, upper)
+        b = UncertainGeneratingFunction(lower, upper, k_cap=10)
+        for k in range(3):
+            assert a.count_lower_bound(k) == pytest.approx(b.count_lower_bound(k))
+            assert a.count_upper_bound(k) == pytest.approx(b.count_upper_bound(k))
+
+
+class TestRegularGFBounds:
+    def test_bracket_consistent_probability_vectors(self):
+        rng = np.random.default_rng(9)
+        lower = rng.uniform(0, 0.5, size=8)
+        upper = np.minimum(1.0, lower + rng.uniform(0, 0.5, size=8))
+        pmf_lower, pmf_upper = regular_gf_bounds(lower, upper)
+        for _ in range(20):
+            truth = rng.uniform(lower, upper)
+            exact = poisson_binomial_pmf(truth)
+            assert np.all(pmf_lower <= exact + 1e-9)
+            assert np.all(pmf_upper >= exact - 1e-9)
+
+    def test_ugf_never_looser_than_regular_gf(self):
+        """The UGF bounds are at least as tight as the two-regular-GF bounds."""
+        rng = np.random.default_rng(10)
+        for _ in range(25):
+            n = rng.integers(2, 12)
+            lower = rng.uniform(0, 1, size=n)
+            upper = np.minimum(1.0, lower + rng.uniform(0, 0.6, size=n))
+            ugf_lower, ugf_upper = UncertainGeneratingFunction(lower, upper).pmf_bounds()
+            reg_lower, reg_upper = regular_gf_bounds(lower, upper)
+            assert np.all(ugf_lower >= reg_lower - 1e-9)
+            assert np.all(ugf_upper <= reg_upper + 1e-9)
+
+    def test_exact_probabilities_give_exact_pmf(self):
+        probs = [0.2, 0.5, 0.9]
+        pmf_lower, pmf_upper = regular_gf_bounds(probs, probs)
+        exact = poisson_binomial_pmf(probs)
+        np.testing.assert_allclose(pmf_lower, exact, atol=1e-12)
+        np.testing.assert_allclose(pmf_upper, exact, atol=1e-12)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            regular_gf_bounds([0.5], [0.5, 0.6])

@@ -1,0 +1,184 @@
+"""Unit tests for the spatial domination criteria (Corollary 1)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry import (
+    Rectangle,
+    dominates,
+    dominates_minmax,
+    dominates_optimal,
+    domination_bulk,
+    rectangles_to_array,
+)
+
+
+def _sampled_domination_holds(a, b, r, rng, samples=400, p=2.0):
+    """Check by sampling that every (a, b, r) triple satisfies dist(a,r) < dist(b,r)."""
+    pa = rng.uniform(a.lows, a.highs, size=(samples, a.dimensions))
+    pb = rng.uniform(b.lows, b.highs, size=(samples, b.dimensions))
+    pr = rng.uniform(r.lows, r.highs, size=(samples, r.dimensions))
+    da = np.sum(np.abs(pa[:, None, :] - pr[None, :, :]) ** p, axis=-1)
+    db = np.sum(np.abs(pb[:, None, :] - pr[None, :, :]) ** p, axis=-1)
+    # compare every a-sample against every b-sample for each r-sample
+    return bool(np.all(da[:, None, :] < db[None, :, :]))
+
+
+class TestClearCases:
+    def setup_method(self):
+        self.reference = Rectangle.from_bounds([0.0, 0.0], [1.0, 1.0])
+        self.near = Rectangle.from_bounds([1.5, 0.0], [2.0, 1.0])
+        self.far = Rectangle.from_bounds([8.0, 0.0], [9.0, 1.0])
+
+    def test_near_dominates_far(self):
+        assert dominates_optimal(self.near, self.far, self.reference)
+        assert dominates_minmax(self.near, self.far, self.reference)
+
+    def test_far_does_not_dominate_near(self):
+        assert not dominates_optimal(self.far, self.near, self.reference)
+        assert not dominates_minmax(self.far, self.near, self.reference)
+
+    def test_object_does_not_dominate_itself(self):
+        assert not dominates_optimal(self.near, self.near, self.reference)
+        assert not dominates_minmax(self.near, self.near, self.reference)
+
+    def test_overlapping_objects_do_not_dominate(self):
+        overlapping = Rectangle.from_bounds([1.7, 0.0], [2.5, 1.0])
+        assert not dominates_optimal(self.near, overlapping, self.reference)
+
+    def test_points_domination_is_distance_comparison(self):
+        r = Rectangle.from_point([0.0, 0.0])
+        a = Rectangle.from_point([1.0, 0.0])
+        b = Rectangle.from_point([2.0, 0.0])
+        assert dominates_optimal(a, b, r)
+        assert not dominates_optimal(b, a, r)
+
+
+class TestOptimalVsMinMax:
+    def test_optimal_detects_case_minmax_misses(self):
+        """The classical Figure-1-style configuration: MinMax fails, optimal wins.
+
+        A and B lie on opposite sides of R; the MaxDist from A to R exceeds
+        the MinDist from B to R, yet for every fixed position of R, A is
+        closer — the dependency MinMax ignores.
+        """
+        r = Rectangle.from_bounds([0.0, 0.0], [4.0, 1.0])
+        a = Rectangle.from_bounds([4.5, 0.0], [5.0, 1.0])  # right of R, adjacent
+        b = Rectangle.from_bounds([6.0, 0.0], [7.0, 1.0])  # farther right, but close
+        # the min/max criterion fails because MaxDist(A, R) > MinDist(B, R)
+        assert not dominates_minmax(a, b, r)
+        assert dominates_optimal(a, b, r)
+
+    def test_minmax_implies_optimal(self):
+        """Whenever the (sufficient) MinMax criterion fires, so must the optimal one."""
+        rng = np.random.default_rng(7)
+        hits = 0
+        for _ in range(300):
+            boxes = [
+                Rectangle.from_center_extent(rng.uniform(0, 1, 2), rng.uniform(0.01, 0.3, 2))
+                for _ in range(3)
+            ]
+            a, b, r = boxes
+            if dominates_minmax(a, b, r):
+                hits += 1
+                assert dominates_optimal(a, b, r)
+        assert hits > 0  # the test exercised the implication at least once
+
+    def test_optimal_claims_are_sound(self):
+        """When the optimal criterion fires, sampling finds no counterexample."""
+        rng = np.random.default_rng(11)
+        fired = 0
+        for _ in range(200):
+            a = Rectangle.from_center_extent(rng.uniform(0, 1, 2), rng.uniform(0.01, 0.2, 2))
+            b = Rectangle.from_center_extent(rng.uniform(0, 1, 2), rng.uniform(0.01, 0.2, 2))
+            r = Rectangle.from_center_extent(rng.uniform(0, 1, 2), rng.uniform(0.01, 0.2, 2))
+            if dominates_optimal(a, b, r):
+                fired += 1
+                assert _sampled_domination_holds(a, b, r, rng, samples=60)
+        assert fired > 0
+
+    def test_mutual_domination_impossible(self):
+        rng = np.random.default_rng(13)
+        for _ in range(200):
+            a = Rectangle.from_center_extent(rng.uniform(0, 1, 2), rng.uniform(0.01, 0.3, 2))
+            b = Rectangle.from_center_extent(rng.uniform(0, 1, 2), rng.uniform(0.01, 0.3, 2))
+            r = Rectangle.from_center_extent(rng.uniform(0, 1, 2), rng.uniform(0.01, 0.3, 2))
+            assert not (dominates_optimal(a, b, r) and dominates_optimal(b, a, r))
+
+
+class TestDispatch:
+    def test_dominates_dispatch(self):
+        r = Rectangle.from_point([0.0, 0.0])
+        a = Rectangle.from_point([1.0, 0.0])
+        b = Rectangle.from_point([2.0, 0.0])
+        assert dominates(a, b, r, criterion="optimal")
+        assert dominates(a, b, r, criterion="minmax")
+
+    def test_unknown_criterion_raises(self):
+        r = Rectangle.from_point([0.0, 0.0])
+        with pytest.raises(ValueError):
+            dominates(r, r, r, criterion="bogus")
+
+    def test_optimal_rejects_infinite_p(self):
+        r = Rectangle.from_point([0.0, 0.0])
+        with pytest.raises(ValueError):
+            dominates_optimal(r, r, r, p=math.inf)
+
+    def test_optimal_rejects_invalid_p(self):
+        r = Rectangle.from_point([0.0, 0.0])
+        with pytest.raises(ValueError):
+            dominates_optimal(r, r, r, p=0.3)
+
+
+class TestManhattanNorm:
+    def test_domination_under_l1(self):
+        r = Rectangle.from_bounds([0.0, 0.0], [1.0, 1.0])
+        a = Rectangle.from_bounds([1.5, 0.0], [2.0, 1.0])
+        b = Rectangle.from_bounds([6.0, 0.0], [7.0, 1.0])
+        assert dominates_optimal(a, b, r, p=1.0)
+        assert not dominates_optimal(b, a, r, p=1.0)
+
+
+class TestVectorisedBulk:
+    def test_bulk_matches_scalar(self):
+        rng = np.random.default_rng(5)
+        candidates = [
+            Rectangle.from_center_extent(rng.uniform(0, 1, 2), rng.uniform(0.01, 0.3, 2))
+            for _ in range(50)
+        ]
+        b = Rectangle.from_center_extent([0.5, 0.5], [0.2, 0.2])
+        r = Rectangle.from_center_extent([0.1, 0.8], [0.15, 0.15])
+        arr = rectangles_to_array(candidates)
+        for criterion in ("optimal", "minmax"):
+            bulk = domination_bulk(arr, b.to_array(), r.to_array(), criterion=criterion)
+            scalar = np.array(
+                [dominates(c, b, r, criterion=criterion) for c in candidates]
+            )
+            np.testing.assert_array_equal(bulk, scalar)
+
+    def test_bulk_swapped_arguments_match_scalar(self):
+        rng = np.random.default_rng(9)
+        candidates = [
+            Rectangle.from_center_extent(rng.uniform(0, 1, 2), rng.uniform(0.01, 0.3, 2))
+            for _ in range(30)
+        ]
+        b = Rectangle.from_center_extent([0.4, 0.6], [0.2, 0.2])
+        r = Rectangle.from_center_extent([0.9, 0.1], [0.1, 0.1])
+        arr = rectangles_to_array(candidates)
+        bulk = domination_bulk(b.to_array(), arr, r.to_array())
+        scalar = np.array([dominates_optimal(b, c, r) for c in candidates])
+        np.testing.assert_array_equal(bulk, scalar)
+
+    def test_bulk_rejects_infinite_p(self):
+        arr = np.zeros((1, 2, 2))
+        with pytest.raises(ValueError):
+            domination_bulk(arr, arr[0], arr[0], p=math.inf)
+
+    def test_bulk_output_shape(self):
+        arr = np.zeros((7, 3, 2))
+        arr[..., 1] = 1.0
+        out = domination_bulk(arr, arr[0], arr[0])
+        assert out.shape == (7,)
+        assert out.dtype == bool

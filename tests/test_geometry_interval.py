@@ -1,0 +1,158 @@
+"""Unit tests for :mod:`repro.geometry.interval`."""
+
+import math
+
+import pytest
+
+from repro.geometry import Interval
+
+
+class TestConstruction:
+    def test_valid_interval(self):
+        iv = Interval(1.0, 2.5)
+        assert iv.lo == 1.0
+        assert iv.hi == 2.5
+
+    def test_degenerate_interval_allowed(self):
+        iv = Interval(3.0, 3.0)
+        assert iv.is_degenerate
+        assert iv.length == 0.0
+
+    def test_invalid_order_raises(self):
+        with pytest.raises(ValueError):
+            Interval(2.0, 1.0)
+
+    def test_hull(self):
+        iv = Interval.hull([3.0, -1.0, 2.0])
+        assert iv == Interval(-1.0, 3.0)
+
+    def test_hull_empty_raises(self):
+        with pytest.raises(ValueError):
+            Interval.hull([])
+
+
+class TestProperties:
+    def test_length(self):
+        assert Interval(1.0, 4.0).length == 3.0
+
+    def test_center(self):
+        assert Interval(1.0, 4.0).center == 2.5
+
+    def test_iteration_yields_bounds(self):
+        assert list(Interval(0.0, 1.0)) == [0.0, 1.0]
+
+
+class TestPredicates:
+    def test_contains_point_inside(self):
+        assert Interval(0.0, 1.0).contains(0.5)
+
+    def test_contains_boundaries(self):
+        iv = Interval(0.0, 1.0)
+        assert iv.contains(0.0)
+        assert iv.contains(1.0)
+
+    def test_contains_outside(self):
+        assert not Interval(0.0, 1.0).contains(1.5)
+
+    def test_contains_interval(self):
+        assert Interval(0.0, 1.0).contains_interval(Interval(0.2, 0.8))
+        assert not Interval(0.0, 1.0).contains_interval(Interval(0.2, 1.2))
+
+    def test_intersects_overlapping(self):
+        assert Interval(0.0, 1.0).intersects(Interval(0.5, 2.0))
+
+    def test_intersects_touching(self):
+        assert Interval(0.0, 1.0).intersects(Interval(1.0, 2.0))
+
+    def test_intersects_disjoint(self):
+        assert not Interval(0.0, 1.0).intersects(Interval(1.5, 2.0))
+
+
+class TestSetOperations:
+    def test_intersection_overlap(self):
+        assert Interval(0.0, 1.0).intersection(Interval(0.5, 2.0)) == Interval(0.5, 1.0)
+
+    def test_intersection_disjoint_is_none(self):
+        assert Interval(0.0, 1.0).intersection(Interval(2.0, 3.0)) is None
+
+    def test_union(self):
+        assert Interval(0.0, 1.0).union(Interval(2.0, 3.0)) == Interval(0.0, 3.0)
+
+    def test_split_default_midpoint(self):
+        left, right = Interval(0.0, 2.0).split()
+        assert left == Interval(0.0, 1.0)
+        assert right == Interval(1.0, 2.0)
+
+    def test_split_custom_point(self):
+        left, right = Interval(0.0, 2.0).split(0.5)
+        assert left.hi == 0.5
+        assert right.lo == 0.5
+
+    def test_split_outside_raises(self):
+        with pytest.raises(ValueError):
+            Interval(0.0, 1.0).split(2.0)
+
+
+class TestDistances:
+    def test_min_dist_point_inside_is_zero(self):
+        assert Interval(0.0, 1.0).min_dist_to_point(0.3) == 0.0
+
+    def test_min_dist_point_below(self):
+        assert Interval(1.0, 2.0).min_dist_to_point(0.5) == pytest.approx(0.5)
+
+    def test_min_dist_point_above(self):
+        assert Interval(1.0, 2.0).min_dist_to_point(3.5) == pytest.approx(1.5)
+
+    def test_max_dist_point(self):
+        assert Interval(1.0, 2.0).max_dist_to_point(0.0) == pytest.approx(2.0)
+        assert Interval(1.0, 2.0).max_dist_to_point(1.6) == pytest.approx(0.6)
+
+    def test_max_dist_at_least_min_dist(self):
+        iv = Interval(-1.0, 3.0)
+        for x in (-5.0, -1.0, 0.0, 2.0, 3.0, 10.0):
+            assert iv.max_dist_to_point(x) >= iv.min_dist_to_point(x)
+
+    def test_min_dist_interval_overlapping(self):
+        assert Interval(0.0, 1.0).min_dist_to_interval(Interval(0.5, 2.0)) == 0.0
+
+    def test_min_dist_interval_disjoint(self):
+        assert Interval(0.0, 1.0).min_dist_to_interval(Interval(2.0, 3.0)) == pytest.approx(1.0)
+        assert Interval(2.0, 3.0).min_dist_to_interval(Interval(0.0, 1.0)) == pytest.approx(1.0)
+
+    def test_max_dist_interval(self):
+        assert Interval(0.0, 1.0).max_dist_to_interval(Interval(2.0, 3.0)) == pytest.approx(3.0)
+
+    def test_clamp(self):
+        iv = Interval(0.0, 1.0)
+        assert iv.clamp(-1.0) == 0.0
+        assert iv.clamp(0.5) == 0.5
+        assert iv.clamp(2.0) == 1.0
+
+
+class TestSymmetry:
+    @pytest.mark.parametrize(
+        "a,b",
+        [
+            (Interval(0.0, 1.0), Interval(2.0, 3.0)),
+            (Interval(0.0, 2.0), Interval(1.0, 3.0)),
+            (Interval(-5.0, -1.0), Interval(-0.5, 4.0)),
+        ],
+    )
+    def test_interval_distances_are_symmetric(self, a, b):
+        assert a.min_dist_to_interval(b) == pytest.approx(b.min_dist_to_interval(a))
+        assert a.max_dist_to_interval(b) == pytest.approx(b.max_dist_to_interval(a))
+
+    def test_point_distance_consistency_with_degenerate_interval(self):
+        iv = Interval(1.0, 2.0)
+        point = 0.25
+        degenerate = Interval(point, point)
+        assert iv.min_dist_to_point(point) == pytest.approx(
+            iv.min_dist_to_interval(degenerate)
+        )
+        assert iv.max_dist_to_point(point) == pytest.approx(
+            iv.max_dist_to_interval(degenerate)
+        )
+
+    def test_nan_free_for_large_values(self):
+        iv = Interval(1e12, 2e12)
+        assert math.isfinite(iv.max_dist_to_point(-1e12))

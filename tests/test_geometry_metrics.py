@@ -1,0 +1,138 @@
+"""Unit tests for :mod:`repro.geometry.metrics`."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry import (
+    Rectangle,
+    lp_distance,
+    max_dist,
+    max_dist_arrays,
+    max_dist_point,
+    max_dist_point_arrays,
+    min_dist,
+    min_dist_arrays,
+    min_dist_point,
+    min_dist_point_arrays,
+    rectangles_to_array,
+)
+
+
+class TestLpDistance:
+    def test_euclidean(self):
+        assert lp_distance([0.0, 0.0], [3.0, 4.0]) == pytest.approx(5.0)
+
+    def test_manhattan(self):
+        assert lp_distance([0.0, 0.0], [3.0, 4.0], p=1.0) == pytest.approx(7.0)
+
+    def test_chebyshev(self):
+        assert lp_distance([0.0, 0.0], [3.0, 4.0], p=math.inf) == pytest.approx(4.0)
+
+    def test_identical_points(self):
+        assert lp_distance([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_invalid_p_raises(self):
+        with pytest.raises(ValueError):
+            lp_distance([0.0], [1.0], p=0.5)
+
+
+class TestRectanglePointDistances:
+    def setup_method(self):
+        self.rect = Rectangle.from_bounds([0.0, 0.0], [1.0, 2.0])
+
+    def test_min_dist_point_inside(self):
+        assert min_dist_point(self.rect, [0.5, 1.0]) == 0.0
+
+    def test_min_dist_point_outside(self):
+        assert min_dist_point(self.rect, [2.0, 3.0]) == pytest.approx(math.sqrt(2.0))
+
+    def test_max_dist_point_center(self):
+        # farthest corner from the center is at distance sqrt(0.5^2 + 1^2)
+        assert max_dist_point(self.rect, [0.5, 1.0]) == pytest.approx(math.sqrt(1.25))
+
+    def test_max_dist_point_equals_farthest_corner(self):
+        point = [3.0, -1.0]
+        corner_dists = [lp_distance(point, c) for c in self.rect.corners()]
+        assert max_dist_point(self.rect, point) == pytest.approx(max(corner_dists))
+
+    def test_min_dist_point_equals_clamped_distance(self):
+        point = [3.0, -1.0]
+        clamped = self.rect.clamp_point(point)
+        assert min_dist_point(self.rect, point) == pytest.approx(lp_distance(point, clamped))
+
+    def test_chebyshev_variants(self):
+        assert min_dist_point(self.rect, [2.0, 3.0], p=math.inf) == pytest.approx(1.0)
+        assert max_dist_point(self.rect, [2.0, 3.0], p=math.inf) == pytest.approx(3.0)
+
+
+class TestRectangleRectangleDistances:
+    def test_min_dist_disjoint(self):
+        a = Rectangle.from_bounds([0.0, 0.0], [1.0, 1.0])
+        b = Rectangle.from_bounds([2.0, 2.0], [3.0, 3.0])
+        assert min_dist(a, b) == pytest.approx(math.sqrt(2.0))
+
+    def test_min_dist_overlapping_is_zero(self):
+        a = Rectangle.from_bounds([0.0, 0.0], [1.0, 1.0])
+        b = Rectangle.from_bounds([0.5, 0.5], [2.0, 2.0])
+        assert min_dist(a, b) == 0.0
+
+    def test_max_dist(self):
+        a = Rectangle.from_bounds([0.0, 0.0], [1.0, 1.0])
+        b = Rectangle.from_bounds([2.0, 2.0], [3.0, 3.0])
+        assert max_dist(a, b) == pytest.approx(math.sqrt(18.0))
+
+    def test_symmetry(self):
+        a = Rectangle.from_bounds([0.0, 0.0], [1.0, 3.0])
+        b = Rectangle.from_bounds([-2.0, 1.0], [0.5, 2.0])
+        assert min_dist(a, b) == pytest.approx(min_dist(b, a))
+        assert max_dist(a, b) == pytest.approx(max_dist(b, a))
+
+    def test_max_dist_at_least_min_dist(self):
+        a = Rectangle.from_bounds([0.0, 0.0], [1.0, 1.0])
+        b = Rectangle.from_bounds([0.5, -3.0], [4.0, 0.2])
+        assert max_dist(a, b) >= min_dist(a, b)
+
+    def test_degenerate_rectangles_reduce_to_point_distance(self):
+        a = Rectangle.from_point([0.0, 0.0])
+        b = Rectangle.from_point([3.0, 4.0])
+        assert min_dist(a, b) == pytest.approx(5.0)
+        assert max_dist(a, b) == pytest.approx(5.0)
+
+
+class TestVectorisedKernels:
+    def setup_method(self):
+        self.rects = [
+            Rectangle.from_bounds([0.0, 0.0], [1.0, 1.0]),
+            Rectangle.from_bounds([2.0, 2.0], [3.0, 4.0]),
+            Rectangle.from_bounds([-1.0, -1.0], [0.0, 0.0]),
+        ]
+        self.arr = rectangles_to_array(self.rects)
+
+    def test_point_kernels_match_scalar(self):
+        point = np.array([0.5, 2.5])
+        mins = min_dist_point_arrays(self.arr, point)
+        maxs = max_dist_point_arrays(self.arr, point)
+        for i, rect in enumerate(self.rects):
+            assert mins[i] == pytest.approx(min_dist_point(rect, point))
+            assert maxs[i] == pytest.approx(max_dist_point(rect, point))
+
+    def test_rect_kernels_match_scalar(self):
+        other = Rectangle.from_bounds([0.5, 0.5], [1.5, 3.0])
+        mins = min_dist_arrays(self.arr, other.to_array())
+        maxs = max_dist_arrays(self.arr, other.to_array())
+        for i, rect in enumerate(self.rects):
+            assert mins[i] == pytest.approx(min_dist(rect, other))
+            assert maxs[i] == pytest.approx(max_dist(rect, other))
+
+    def test_manhattan_kernels_match_scalar(self):
+        other = Rectangle.from_bounds([0.5, 0.5], [1.5, 3.0])
+        mins = min_dist_arrays(self.arr, other.to_array(), p=1.0)
+        for i, rect in enumerate(self.rects):
+            assert mins[i] == pytest.approx(min_dist(rect, other, p=1.0))
+
+    def test_kernel_output_shapes(self):
+        point = np.array([0.0, 0.0])
+        assert min_dist_point_arrays(self.arr, point).shape == (3,)
+        assert max_dist_point_arrays(self.arr, point).shape == (3,)

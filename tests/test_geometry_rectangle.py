@@ -1,0 +1,171 @@
+"""Unit tests for :mod:`repro.geometry.rectangle`."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Interval, Rectangle, rectangles_to_array
+
+
+class TestConstruction:
+    def test_from_bounds(self):
+        rect = Rectangle.from_bounds([0.0, 1.0], [2.0, 3.0])
+        assert rect.dimensions == 2
+        np.testing.assert_allclose(rect.lows, [0.0, 1.0])
+        np.testing.assert_allclose(rect.highs, [2.0, 3.0])
+
+    def test_from_bounds_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Rectangle.from_bounds([0.0], [1.0, 2.0])
+
+    def test_from_point_is_degenerate(self):
+        rect = Rectangle.from_point([1.0, 2.0, 3.0])
+        assert rect.is_degenerate
+        assert rect.volume == 0.0
+
+    def test_from_center_extent(self):
+        rect = Rectangle.from_center_extent([0.5, 0.5], 0.2)
+        np.testing.assert_allclose(rect.lows, [0.4, 0.4])
+        np.testing.assert_allclose(rect.highs, [0.6, 0.6])
+
+    def test_from_center_extent_per_dimension(self):
+        rect = Rectangle.from_center_extent([0.0, 0.0], [2.0, 4.0])
+        np.testing.assert_allclose(rect.extents, [2.0, 4.0])
+
+    def test_from_array_roundtrip(self):
+        rect = Rectangle.from_bounds([0.0, 1.0], [2.0, 3.0])
+        again = Rectangle.from_array(rect.to_array())
+        assert again == rect
+
+    def test_from_array_bad_shape_raises(self):
+        with pytest.raises(ValueError):
+            Rectangle.from_array(np.zeros((2, 3)))
+
+    def test_bounding_of_points(self):
+        pts = np.array([[0.0, 1.0], [2.0, -1.0], [1.0, 0.5]])
+        rect = Rectangle.bounding(pts)
+        np.testing.assert_allclose(rect.lows, [0.0, -1.0])
+        np.testing.assert_allclose(rect.highs, [2.0, 1.0])
+
+    def test_bounding_empty_raises(self):
+        with pytest.raises(ValueError):
+            Rectangle.bounding(np.empty((0, 2)))
+
+    def test_zero_dimensions_raises(self):
+        with pytest.raises(ValueError):
+            Rectangle(tuple())
+
+
+class TestProperties:
+    def test_center(self):
+        rect = Rectangle.from_bounds([0.0, 0.0], [2.0, 4.0])
+        np.testing.assert_allclose(rect.center, [1.0, 2.0])
+
+    def test_volume(self):
+        rect = Rectangle.from_bounds([0.0, 0.0], [2.0, 4.0])
+        assert rect.volume == pytest.approx(8.0)
+
+    def test_widest_axis(self):
+        rect = Rectangle.from_bounds([0.0, 0.0], [1.0, 5.0])
+        assert rect.widest_axis() == 1
+
+    def test_getitem_returns_interval(self):
+        rect = Rectangle.from_bounds([0.0, 1.0], [2.0, 3.0])
+        assert rect[1] == Interval(1.0, 3.0)
+
+    def test_corners_2d(self):
+        rect = Rectangle.from_bounds([0.0, 0.0], [1.0, 2.0])
+        corners = rect.corners()
+        assert corners.shape == (4, 2)
+        expected = {(0.0, 0.0), (1.0, 0.0), (0.0, 2.0), (1.0, 2.0)}
+        assert {tuple(c) for c in corners} == expected
+
+
+class TestPredicates:
+    def test_contains_point(self):
+        rect = Rectangle.from_bounds([0.0, 0.0], [1.0, 1.0])
+        assert rect.contains_point([0.5, 0.5])
+        assert rect.contains_point([1.0, 0.0])
+        assert not rect.contains_point([1.1, 0.5])
+
+    def test_contains_rectangle(self):
+        outer = Rectangle.from_bounds([0.0, 0.0], [1.0, 1.0])
+        inner = Rectangle.from_bounds([0.2, 0.2], [0.8, 0.8])
+        assert outer.contains_rectangle(inner)
+        assert not inner.contains_rectangle(outer)
+
+    def test_intersects(self):
+        a = Rectangle.from_bounds([0.0, 0.0], [1.0, 1.0])
+        b = Rectangle.from_bounds([0.5, 0.5], [2.0, 2.0])
+        c = Rectangle.from_bounds([2.0, 2.0], [3.0, 3.0])
+        assert a.intersects(b)
+        assert not a.intersects(c)
+
+    def test_intersects_requires_overlap_in_all_dimensions(self):
+        a = Rectangle.from_bounds([0.0, 0.0], [1.0, 1.0])
+        b = Rectangle.from_bounds([0.5, 2.0], [0.7, 3.0])
+        assert not a.intersects(b)
+
+
+class TestSetOperations:
+    def test_intersection(self):
+        a = Rectangle.from_bounds([0.0, 0.0], [1.0, 1.0])
+        b = Rectangle.from_bounds([0.5, -1.0], [2.0, 0.5])
+        inter = a.intersection(b)
+        assert inter == Rectangle.from_bounds([0.5, 0.0], [1.0, 0.5])
+
+    def test_intersection_disjoint_is_none(self):
+        a = Rectangle.from_bounds([0.0, 0.0], [1.0, 1.0])
+        b = Rectangle.from_bounds([2.0, 2.0], [3.0, 3.0])
+        assert a.intersection(b) is None
+
+    def test_union(self):
+        a = Rectangle.from_bounds([0.0, 0.0], [1.0, 1.0])
+        b = Rectangle.from_bounds([2.0, -1.0], [3.0, 0.5])
+        union = a.union(b)
+        assert union == Rectangle.from_bounds([0.0, -1.0], [3.0, 1.0])
+
+    def test_split_midpoint(self):
+        rect = Rectangle.from_bounds([0.0, 0.0], [2.0, 2.0])
+        left, right = rect.split(axis=0)
+        assert left == Rectangle.from_bounds([0.0, 0.0], [1.0, 2.0])
+        assert right == Rectangle.from_bounds([1.0, 0.0], [2.0, 2.0])
+
+    def test_split_custom_point(self):
+        rect = Rectangle.from_bounds([0.0, 0.0], [2.0, 2.0])
+        left, right = rect.split(axis=1, at=0.5)
+        assert left[1] == Interval(0.0, 0.5)
+        assert right[1] == Interval(0.5, 2.0)
+
+    def test_split_bad_axis_raises(self):
+        rect = Rectangle.from_bounds([0.0], [1.0])
+        with pytest.raises(ValueError):
+            rect.split(axis=3)
+
+    def test_clamp_point(self):
+        rect = Rectangle.from_bounds([0.0, 0.0], [1.0, 1.0])
+        np.testing.assert_allclose(rect.clamp_point([-1.0, 0.5]), [0.0, 0.5])
+        np.testing.assert_allclose(rect.clamp_point([2.0, 2.0]), [1.0, 1.0])
+
+
+class TestArrayConversion:
+    def test_rectangles_to_array_shape(self):
+        rects = [
+            Rectangle.from_bounds([0.0, 0.0], [1.0, 1.0]),
+            Rectangle.from_bounds([1.0, 2.0], [3.0, 4.0]),
+        ]
+        arr = rectangles_to_array(rects)
+        assert arr.shape == (2, 2, 2)
+        np.testing.assert_allclose(arr[1, :, 0], [1.0, 2.0])
+        np.testing.assert_allclose(arr[1, :, 1], [3.0, 4.0])
+
+    def test_rectangles_to_array_empty_raises(self):
+        with pytest.raises(ValueError):
+            rectangles_to_array([])
+
+    def test_rectangles_to_array_dimension_mismatch_raises(self):
+        rects = [
+            Rectangle.from_bounds([0.0, 0.0], [1.0, 1.0]),
+            Rectangle.from_bounds([0.0], [1.0]),
+        ]
+        with pytest.raises(ValueError):
+            rectangles_to_array(rects)

@@ -1,0 +1,139 @@
+"""Property-based tests (hypothesis) for the (uncertain) generating functions."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    UncertainGeneratingFunction,
+    poisson_binomial_pmf,
+    regular_gf_bounds,
+)
+
+probability = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+@st.composite
+def probability_vectors(draw, max_size=12):
+    return draw(st.lists(probability, min_size=1, max_size=max_size))
+
+
+@st.composite
+def bound_vectors(draw, max_size=12):
+    """Pairs (lower, upper) with lower <= upper element-wise."""
+    lower = draw(st.lists(probability, min_size=1, max_size=max_size))
+    upper = [draw(st.floats(min_value=lo, max_value=1.0, allow_nan=False)) for lo in lower]
+    return lower, upper
+
+
+class TestPoissonBinomialProperties:
+    @given(probability_vectors())
+    def test_pmf_is_a_distribution(self, probs):
+        pmf = poisson_binomial_pmf(probs)
+        assert pmf.shape == (len(probs) + 1,)
+        assert np.all(pmf >= -1e-12)
+        assert abs(pmf.sum() - 1.0) < 1e-9
+
+    @given(probability_vectors())
+    def test_mean_matches_sum_of_probabilities(self, probs):
+        pmf = poisson_binomial_pmf(probs)
+        mean = float(np.arange(len(pmf)) @ pmf)
+        assert abs(mean - sum(probs)) < 1e-9
+
+    @given(probability_vectors(), st.integers(min_value=0, max_value=5))
+    def test_truncation_keeps_prefix_and_mass(self, probs, k):
+        full = poisson_binomial_pmf(probs)
+        truncated = poisson_binomial_pmf(probs, k_cap=k)
+        keep = min(k + 1, len(probs) + 1)
+        np.testing.assert_allclose(truncated[:keep], full[:keep], atol=1e-9)
+        assert abs(truncated.sum() - 1.0) < 1e-9
+
+    @given(probability_vectors())
+    def test_order_invariance(self, probs):
+        shuffled = list(reversed(probs))
+        np.testing.assert_allclose(
+            poisson_binomial_pmf(probs), poisson_binomial_pmf(shuffled), atol=1e-9
+        )
+
+
+class TestUGFProperties:
+    @settings(max_examples=150)
+    @given(bound_vectors())
+    def test_mass_and_ordering(self, bounds):
+        lower, upper = bounds
+        ugf = UncertainGeneratingFunction(lower, upper)
+        assert abs(ugf.total_mass() - 1.0) < 1e-9
+        pmf_lower, pmf_upper = ugf.pmf_bounds()
+        assert np.all(pmf_lower <= pmf_upper + 1e-9)
+        assert pmf_lower.sum() <= 1.0 + 1e-9
+        assert pmf_upper.sum() >= 1.0 - 1e-9
+
+    @settings(max_examples=100)
+    @given(bound_vectors(), st.randoms(use_true_random=False))
+    def test_bounds_bracket_consistent_truths(self, bounds, rnd):
+        lower, upper = bounds
+        ugf = UncertainGeneratingFunction(lower, upper)
+        pmf_lower, pmf_upper = ugf.pmf_bounds()
+        truth = [rnd.uniform(lo, up) for lo, up in zip(lower, upper)]
+        exact = poisson_binomial_pmf(truth)
+        assert np.all(pmf_lower <= exact + 1e-9)
+        assert np.all(pmf_upper >= exact - 1e-9)
+
+    @settings(max_examples=100)
+    @given(bound_vectors())
+    def test_cdf_bounds_monotone(self, bounds):
+        lower, upper = bounds
+        ugf = UncertainGeneratingFunction(lower, upper)
+        n = len(lower)
+        cdf_lower = [ugf.cdf_lower_bound(k) for k in range(n + 1)]
+        cdf_upper = [ugf.cdf_upper_bound(k) for k in range(n + 1)]
+        assert all(b >= a - 1e-9 for a, b in zip(cdf_lower, cdf_lower[1:]))
+        assert all(b >= a - 1e-9 for a, b in zip(cdf_upper, cdf_upper[1:]))
+        assert all(up >= lo - 1e-9 for lo, up in zip(cdf_lower, cdf_upper))
+        assert abs(cdf_lower[n] - 1.0) < 1e-9
+        assert abs(cdf_upper[n] - 1.0) < 1e-9
+
+    @settings(max_examples=100)
+    @given(bound_vectors(), st.integers(min_value=1, max_value=6))
+    def test_truncated_bounds_match_full_below_cap(self, bounds, k):
+        lower, upper = bounds
+        full = UncertainGeneratingFunction(lower, upper)
+        truncated = UncertainGeneratingFunction(lower, upper, k_cap=k)
+        for count in range(min(k, len(lower)) + 1):
+            assert abs(
+                truncated.count_lower_bound(count) - full.count_lower_bound(count)
+            ) < 1e-9
+            assert abs(
+                truncated.count_upper_bound(count) - full.count_upper_bound(count)
+            ) < 1e-9
+
+    @settings(max_examples=100)
+    @given(bound_vectors())
+    def test_ugf_at_least_as_tight_as_regular_gf(self, bounds):
+        lower, upper = bounds
+        ugf_lower, ugf_upper = UncertainGeneratingFunction(lower, upper).pmf_bounds()
+        reg_lower, reg_upper = regular_gf_bounds(lower, upper)
+        assert np.all(ugf_lower >= reg_lower - 1e-9)
+        assert np.all(ugf_upper <= reg_upper + 1e-9)
+
+    @settings(max_examples=100)
+    @given(probability_vectors())
+    def test_exact_bounds_recover_poisson_binomial(self, probs):
+        ugf = UncertainGeneratingFunction.from_exact(probs)
+        pmf_lower, pmf_upper = ugf.pmf_bounds()
+        exact = poisson_binomial_pmf(probs)
+        np.testing.assert_allclose(pmf_lower, exact, atol=1e-9)
+        np.testing.assert_allclose(pmf_upper, exact, atol=1e-9)
+
+    @settings(max_examples=60)
+    @given(bound_vectors(max_size=8))
+    def test_widening_bounds_never_tightens_result(self, bounds):
+        """Widening the per-variable bounds can only widen the PMF bounds."""
+        lower, upper = bounds
+        tight_lower, tight_upper = UncertainGeneratingFunction(lower, upper).pmf_bounds()
+        widened_lower = [max(0.0, lo - 0.1) for lo in lower]
+        widened_upper = [min(1.0, up + 0.1) for up in upper]
+        wide_lower, wide_upper = UncertainGeneratingFunction(
+            widened_lower, widened_upper
+        ).pmf_bounds()
+        assert np.all(wide_lower <= tight_lower + 1e-9)
+        assert np.all(wide_upper >= tight_upper - 1e-9)

@@ -1,0 +1,143 @@
+"""Property-based tests (hypothesis) for the uncertainty model and decomposition."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import Rectangle
+from repro.uncertain import (
+    BoxUniformObject,
+    DecompositionTree,
+    DiscreteObject,
+    TruncatedGaussianObject,
+)
+
+coordinate = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False)
+extent = st.floats(min_value=1e-4, max_value=5.0, allow_nan=False)
+
+
+@st.composite
+def box_objects(draw):
+    lows = [draw(coordinate), draw(coordinate)]
+    extents = [draw(extent), draw(extent)]
+    highs = [lo + ex for lo, ex in zip(lows, extents)]
+    return BoxUniformObject(Rectangle.from_bounds(lows, highs))
+
+
+@st.composite
+def gaussian_objects(draw):
+    mean = [draw(coordinate), draw(coordinate)]
+    std = [draw(st.floats(min_value=0.01, max_value=2.0)), draw(st.floats(min_value=0.01, max_value=2.0))]
+    return TruncatedGaussianObject(mean, std)
+
+
+@st.composite
+def discrete_objects(draw):
+    n = draw(st.integers(min_value=1, max_value=12))
+    # coordinates are rounded so that "distinct" alternatives are separated by
+    # more than the numerical duplicate tolerance of the decomposition
+    points = [
+        [round(draw(coordinate), 3), round(draw(coordinate), 3)] for _ in range(n)
+    ]
+    weights = [draw(st.floats(min_value=0.05, max_value=1.0)) for _ in range(n)]
+    return DiscreteObject(np.array(points), np.array(weights) / sum(weights))
+
+
+@st.composite
+def subregions(draw, obj):
+    """A random axis-aligned region overlapping the object's MBR."""
+    mbr = obj.mbr
+    lows, highs = [], []
+    for iv in mbr.intervals:
+        a = draw(st.floats(min_value=iv.lo - 1.0, max_value=iv.hi, allow_nan=False))
+        b = draw(st.floats(min_value=a, max_value=iv.hi + 1.0, allow_nan=False))
+        lows.append(a)
+        highs.append(b)
+    return Rectangle.from_bounds(lows, highs)
+
+
+class TestMassProperties:
+    @settings(max_examples=80)
+    @given(st.data())
+    def test_mass_between_zero_and_one(self, data):
+        obj = data.draw(st.one_of(box_objects(), gaussian_objects(), discrete_objects()))
+        region = data.draw(subregions(obj))
+        mass = obj.mass_in(region)
+        assert -1e-9 <= mass <= 1.0 + 1e-9
+
+    @settings(max_examples=80)
+    @given(st.data())
+    def test_mass_of_mbr_is_existence_probability(self, data):
+        obj = data.draw(st.one_of(box_objects(), gaussian_objects(), discrete_objects()))
+        assert abs(obj.mass_in(obj.mbr) - obj.existence_probability) < 1e-6
+
+    @settings(max_examples=80)
+    @given(st.data())
+    def test_mass_monotone_under_region_inclusion(self, data):
+        obj = data.draw(st.one_of(box_objects(), gaussian_objects(), discrete_objects()))
+        region = data.draw(subregions(obj))
+        grown = Rectangle.from_bounds(region.lows - 0.5, region.highs + 0.5)
+        assert obj.mass_in(region) <= obj.mass_in(grown) + 1e-9
+
+    @settings(max_examples=60)
+    @given(st.data())
+    def test_samples_lie_inside_mbr(self, data):
+        obj = data.draw(st.one_of(box_objects(), gaussian_objects(), discrete_objects()))
+        rng = np.random.default_rng(data.draw(st.integers(min_value=0, max_value=10_000)))
+        samples = obj.sample(64, rng)
+        assert np.all(samples >= obj.mbr.lows - 1e-9)
+        assert np.all(samples <= obj.mbr.highs + 1e-9)
+
+    @settings(max_examples=60)
+    @given(st.data())
+    def test_mean_lies_inside_mbr(self, data):
+        obj = data.draw(st.one_of(box_objects(), gaussian_objects(), discrete_objects()))
+        mean = obj.mean()
+        assert np.all(mean >= obj.mbr.lows - 1e-9)
+        assert np.all(mean <= obj.mbr.highs + 1e-9)
+
+
+class TestDecompositionProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(st.data(), st.integers(min_value=0, max_value=6))
+    def test_partition_masses_sum_to_existence(self, data, depth):
+        obj = data.draw(st.one_of(box_objects(), gaussian_objects(), discrete_objects()))
+        tree = DecompositionTree(obj)
+        parts = tree.partitions(depth)
+        total = sum(p.probability for p in parts)
+        assert abs(total - obj.existence_probability) < 1e-6
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.data(), st.integers(min_value=0, max_value=6))
+    def test_partitions_stay_inside_mbr(self, data, depth):
+        obj = data.draw(st.one_of(box_objects(), gaussian_objects(), discrete_objects()))
+        tree = DecompositionTree(obj)
+        for part in tree.partitions(depth):
+            assert obj.mbr.contains_rectangle(part.region)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.data(), st.integers(min_value=0, max_value=6))
+    def test_partition_probability_matches_mass(self, data, depth):
+        obj = data.draw(st.one_of(box_objects(), gaussian_objects()))
+        tree = DecompositionTree(obj)
+        for part in tree.partitions(depth):
+            assert abs(part.probability - obj.mass_in(part.region)) < 1e-6
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_partition_count_never_decreases_with_depth(self, data):
+        obj = data.draw(st.one_of(box_objects(), discrete_objects()))
+        tree = DecompositionTree(obj)
+        previous = 0
+        for depth in range(0, 6):
+            count = tree.num_partitions(depth)
+            assert count >= previous
+            previous = count
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_discrete_leaves_eventually_singletons(self, data):
+        obj = data.draw(discrete_objects())
+        tree = DecompositionTree(obj)
+        parts = tree.partitions(20)
+        distinct_points = np.unique(obj.points, axis=0)
+        assert len(parts) == distinct_points.shape[0]

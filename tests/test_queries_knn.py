@@ -1,0 +1,135 @@
+"""Tests for probabilistic threshold kNN queries (Corollary 4)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import exact_domination_count_pmf
+from repro.core import IDCA
+from repro.datasets import discrete_sample_database, uniform_rectangle_database
+from repro.index import RTree
+from repro.queries import probabilistic_knn_threshold
+from repro.uncertain import DiscreteObject, PointObject
+
+
+def exact_knn_probability(database, target_index, query, k):
+    """Oracle: P(target is a kNN of query) for discrete databases."""
+    pmf = exact_domination_count_pmf(
+        database, database[target_index], query, exclude_indices=[target_index]
+    )
+    return float(pmf[:k].sum())
+
+
+class TestAgainstOracle:
+    @pytest.mark.parametrize("k,tau", [(1, 0.3), (2, 0.5), (3, 0.25), (3, 0.75)])
+    def test_decisions_match_oracle(self, k, tau):
+        database = discrete_sample_database(
+            num_objects=8, samples_per_object=4, max_extent=0.3, seed=17
+        )
+        rng = np.random.default_rng(17)
+        query = DiscreteObject(rng.uniform(0, 1, size=(3, 2)), label="query")
+        result = probabilistic_knn_threshold(
+            database, query, k=k, tau=tau, max_iterations=15
+        )
+        # every decided object must agree with the exact probability
+        for match in result.matches:
+            exact = exact_knn_probability(database, match.index, query, k)
+            assert exact >= tau - 1e-9
+        for match in result.rejected:
+            exact = exact_knn_probability(database, match.index, query, k)
+            assert exact <= tau + 1e-9
+        # undecided objects must have bounds that really straddle tau
+        for match in result.undecided:
+            assert match.probability_lower <= tau <= match.probability_upper
+
+    def test_probability_bounds_bracket_oracle(self):
+        database = discrete_sample_database(
+            num_objects=8, samples_per_object=4, max_extent=0.3, seed=23
+        )
+        rng = np.random.default_rng(23)
+        query = DiscreteObject(rng.uniform(0, 1, size=(3, 2)), label="query")
+        result = probabilistic_knn_threshold(
+            database, query, k=2, tau=0.5, max_iterations=6
+        )
+        for match in result.all_evaluated():
+            exact = exact_knn_probability(database, match.index, query, 2)
+            assert match.probability_lower <= exact + 1e-9
+            assert match.probability_upper >= exact - 1e-9
+
+
+class TestQueryMechanics:
+    def setup_method(self):
+        self.database = uniform_rectangle_database(100, max_extent=0.02, seed=31)
+        self.query = PointObject([0.5, 0.5], label="q")
+
+    def test_result_accounting(self):
+        result = probabilistic_knn_threshold(self.database, self.query, k=3, tau=0.5)
+        assert result.candidate_count() + result.pruned == len(self.database)
+        assert result.k == 3 and result.tau == 0.5
+        assert result.elapsed_seconds >= 0.0
+
+    def test_result_indices_are_matches(self):
+        result = probabilistic_knn_threshold(self.database, self.query, k=3, tau=0.5)
+        assert result.result_indices() == [m.index for m in result.matches]
+
+    def test_at_most_k_over_tau_matches(self):
+        """At most k/tau objects can have kNN probability above tau."""
+        k, tau = 3, 0.5
+        result = probabilistic_knn_threshold(self.database, self.query, k=k, tau=tau)
+        assert len(result.matches) <= int(k / tau)
+
+    def test_certain_database_certain_query_is_classic_knn(self):
+        rng = np.random.default_rng(3)
+        points = rng.uniform(0, 1, size=(40, 2))
+        from repro.uncertain import UncertainDatabase
+
+        database = UncertainDatabase([PointObject(p) for p in points])
+        query = PointObject([0.5, 0.5])
+        k = 5
+        result = probabilistic_knn_threshold(database, query, k=k, tau=0.5)
+        dists = np.linalg.norm(points - 0.5, axis=1)
+        expected = set(np.argsort(dists)[:k])
+        assert set(result.result_indices()) == expected
+        assert not result.undecided
+
+    def test_query_by_database_index_excludes_itself(self):
+        result = probabilistic_knn_threshold(self.database, 0, k=2, tau=0.5)
+        assert 0 not in [m.index for m in result.all_evaluated()]
+
+    def test_rtree_candidates_give_same_matches(self):
+        rtree = RTree(self.database.mbrs())
+        scan_result = probabilistic_knn_threshold(self.database, self.query, k=3, tau=0.5)
+        tree_result = probabilistic_knn_threshold(
+            self.database, self.query, k=3, tau=0.5, rtree=rtree
+        )
+        assert set(scan_result.result_indices()) == set(tree_result.result_indices())
+
+    def test_supplied_idca_with_too_small_cap_raises(self):
+        idca = IDCA(self.database, k_cap=2)
+        with pytest.raises(ValueError):
+            probabilistic_knn_threshold(self.database, self.query, k=5, tau=0.5, idca=idca)
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            probabilistic_knn_threshold(self.database, self.query, k=0, tau=0.5)
+        with pytest.raises(ValueError):
+            probabilistic_knn_threshold(self.database, self.query, k=1, tau=1.5)
+
+    def test_monotonicity_in_tau(self):
+        """Raising tau can only shrink the (decided) result set."""
+        low = probabilistic_knn_threshold(self.database, self.query, k=3, tau=0.25)
+        high = probabilistic_knn_threshold(self.database, self.query, k=3, tau=0.75)
+        assert set(high.result_indices()) <= set(
+            low.result_indices() + [m.index for m in low.undecided]
+        )
+
+    def test_monotonicity_in_k(self):
+        """Every k-match remains a match for a larger k (given enough refinement)."""
+        small = probabilistic_knn_threshold(
+            self.database, self.query, k=2, tau=0.5, max_iterations=12
+        )
+        large = probabilistic_knn_threshold(
+            self.database, self.query, k=6, tau=0.5, max_iterations=12
+        )
+        assert set(small.result_indices()) <= set(
+            large.result_indices() + [m.index for m in large.undecided]
+        )

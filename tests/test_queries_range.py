@@ -1,0 +1,128 @@
+"""Tests for probabilistic distance-range queries."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import uniform_rectangle_database
+from repro.geometry import Rectangle
+from repro.queries import probabilistic_range_query, probability_within_range
+from repro.uncertain import (
+    BoxUniformObject,
+    DiscreteObject,
+    PointObject,
+    UncertainDatabase,
+)
+
+
+def _box(lo, hi, **kwargs):
+    return BoxUniformObject(Rectangle.from_bounds(lo, hi), **kwargs)
+
+
+class TestProbabilityWithinRange:
+    def test_certainly_inside(self):
+        obj = _box([0.0, 0.0], [0.1, 0.1])
+        query = PointObject([0.05, 0.05])
+        lower, upper = probability_within_range(obj, query, epsilon=1.0)
+        assert lower == pytest.approx(1.0)
+        assert upper == pytest.approx(1.0)
+
+    def test_certainly_outside(self):
+        obj = _box([5.0, 5.0], [5.1, 5.1])
+        query = PointObject([0.0, 0.0])
+        lower, upper = probability_within_range(obj, query, epsilon=1.0)
+        assert lower == pytest.approx(0.0)
+        assert upper == pytest.approx(0.0)
+
+    def test_uniform_box_analytic_probability(self):
+        """For a 1-extent box and a point query the in-range mass is the overlap."""
+        obj = _box([0.0, 0.0], [1.0, 0.0])  # a 1-D segment embedded in 2-D
+        query = PointObject([0.0, 0.0])
+        lower, upper = probability_within_range(obj, query, epsilon=0.25, max_depth=10)
+        assert lower <= 0.25 + 1e-6
+        assert upper >= 0.25 - 1e-6
+        assert upper - lower < 0.05
+
+    def test_bounds_bracket_monte_carlo(self):
+        rng = np.random.default_rng(0)
+        obj = _box([0.2, 0.3], [0.6, 0.8])
+        query = _box([0.5, 0.5], [0.9, 0.9])
+        epsilon = 0.3
+        samples_a = obj.sample(20000, rng)
+        samples_q = query.sample(20000, rng)
+        estimate = float(np.mean(np.linalg.norm(samples_a - samples_q, axis=1) <= epsilon))
+        lower, upper = probability_within_range(obj, query, epsilon, max_depth=6)
+        assert lower - 0.02 <= estimate <= upper + 0.02
+
+    def test_bounds_tighten_with_depth(self):
+        obj = _box([0.0, 0.0], [1.0, 1.0])
+        query = PointObject([0.5, 0.5])
+        widths = []
+        for depth in (0, 2, 4, 6):
+            lower, upper = probability_within_range(obj, query, 0.4, max_depth=depth)
+            widths.append(upper - lower)
+        assert widths == sorted(widths, reverse=True)
+        assert widths[-1] < widths[0]
+
+    def test_exact_for_discrete_objects(self):
+        obj = DiscreteObject([[0.0, 0.0], [1.0, 0.0]], [0.3, 0.7])
+        query = PointObject([0.0, 0.0])
+        lower, upper = probability_within_range(obj, query, epsilon=0.5, max_depth=4)
+        assert lower == pytest.approx(0.3)
+        assert upper == pytest.approx(0.3)
+
+    def test_negative_epsilon_raises(self):
+        obj = _box([0.0, 0.0], [1.0, 1.0])
+        with pytest.raises(ValueError):
+            probability_within_range(obj, obj, epsilon=-0.1)
+
+
+class TestProbabilisticRangeQuery:
+    def test_certain_data_matches_classic_range_query(self):
+        rng = np.random.default_rng(1)
+        points = rng.uniform(0, 1, size=(50, 2))
+        database = UncertainDatabase([PointObject(p) for p in points])
+        query = PointObject([0.5, 0.5])
+        epsilon = 0.3
+        result = probabilistic_range_query(database, query, epsilon=epsilon, tau=0.5)
+        expected = set(np.flatnonzero(np.linalg.norm(points - 0.5, axis=1) <= epsilon))
+        assert set(result.result_indices()) == expected
+        assert not result.undecided
+
+    def test_result_accounting(self):
+        database = uniform_rectangle_database(80, max_extent=0.05, seed=2)
+        query = PointObject([0.5, 0.5])
+        result = probabilistic_range_query(database, query, epsilon=0.2, tau=0.5)
+        assert result.candidate_count() + result.pruned == len(database)
+
+    def test_monotone_in_epsilon(self):
+        database = uniform_rectangle_database(80, max_extent=0.05, seed=3)
+        query = PointObject([0.5, 0.5])
+        small = probabilistic_range_query(database, query, epsilon=0.1, tau=0.5)
+        large = probabilistic_range_query(database, query, epsilon=0.3, tau=0.5)
+        assert set(small.result_indices()) <= set(
+            large.result_indices() + [m.index for m in large.undecided]
+        )
+
+    def test_query_as_index_is_excluded(self):
+        database = uniform_rectangle_database(30, max_extent=0.05, seed=4)
+        result = probabilistic_range_query(database, 5, epsilon=0.5, tau=0.5)
+        assert 5 not in [m.index for m in result.all_evaluated()]
+
+    def test_uncertain_matches_have_bracketing_bounds(self):
+        database = uniform_rectangle_database(80, max_extent=0.2, seed=5)
+        query = _box([0.45, 0.45], [0.55, 0.55])
+        result = probabilistic_range_query(database, query, epsilon=0.15, tau=0.5)
+        for match in result.all_evaluated():
+            assert 0.0 <= match.probability_lower <= match.probability_upper <= 1.0
+        for match in result.matches:
+            assert match.probability_lower >= 0.5 - 1e-9
+        for match in result.rejected:
+            assert match.probability_upper <= 0.5 + 1e-9
+
+    def test_invalid_parameters_raise(self):
+        database = uniform_rectangle_database(10, seed=6)
+        query = PointObject([0.5, 0.5])
+        with pytest.raises(ValueError):
+            probabilistic_range_query(database, query, epsilon=-1.0, tau=0.5)
+        with pytest.raises(ValueError):
+            probabilistic_range_query(database, query, epsilon=0.1, tau=1.5)

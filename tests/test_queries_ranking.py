@@ -1,0 +1,159 @@
+"""Tests for inverse ranking (Corollary 3) and expected-rank ranking (Corollary 6)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import exact_domination_count_pmf
+from repro.datasets import discrete_sample_database, uniform_rectangle_database
+from repro.queries import (
+    expected_rank_ranking,
+    probabilistic_inverse_ranking,
+)
+from repro.uncertain import DiscreteObject, PointObject, UncertainDatabase
+
+
+class TestInverseRanking:
+    def setup_method(self):
+        self.database = discrete_sample_database(
+            num_objects=8, samples_per_object=4, max_extent=0.3, seed=51
+        )
+        rng = np.random.default_rng(51)
+        self.reference = DiscreteObject(rng.uniform(0, 1, size=(3, 2)), label="ref")
+        self.target = 4
+
+    def test_rank_distribution_brackets_oracle(self):
+        exact = exact_domination_count_pmf(
+            self.database,
+            self.database[self.target],
+            self.reference,
+            exclude_indices=[self.target],
+        )
+        distribution = probabilistic_inverse_ranking(
+            self.database, self.target, self.reference, max_iterations=8
+        )
+        for rank in range(1, len(distribution) + 1):
+            lower, upper = distribution.rank_bounds(rank)
+            assert lower <= exact[rank - 1] + 1e-9
+            assert upper >= exact[rank - 1] - 1e-9
+
+    def test_rank_is_count_plus_one(self):
+        distribution = probabilistic_inverse_ranking(
+            self.database, self.target, self.reference, max_iterations=4
+        )
+        bounds = distribution.idca_result.bounds
+        assert distribution.rank_bounds(1) == bounds.pmf_bounds(0)
+        assert distribution.rank_bounds(3) == bounds.pmf_bounds(2)
+
+    def test_rank_at_most_is_monotone(self):
+        distribution = probabilistic_inverse_ranking(
+            self.database, self.target, self.reference, max_iterations=4
+        )
+        lowers = [distribution.rank_at_most(r)[0] for r in range(1, len(distribution) + 1)]
+        assert lowers == sorted(lowers)
+        assert distribution.rank_at_most(len(distribution)) == (1.0, 1.0)
+
+    def test_expected_rank_bounds_contain_exact_expected_rank(self):
+        exact = exact_domination_count_pmf(
+            self.database,
+            self.database[self.target],
+            self.reference,
+            exclude_indices=[self.target],
+        )
+        exact_expected_rank = float(np.arange(1, len(exact) + 1) @ exact)
+        distribution = probabilistic_inverse_ranking(
+            self.database, self.target, self.reference, max_iterations=8
+        )
+        lower, upper = distribution.expected_rank_bounds()
+        assert lower - 1e-9 <= exact_expected_rank <= upper + 1e-9
+
+    def test_uncertainty_budget_stops_early(self):
+        loose = probabilistic_inverse_ranking(
+            self.database,
+            self.target,
+            self.reference,
+            max_iterations=10,
+            uncertainty_budget=5.0,
+        )
+        tight = probabilistic_inverse_ranking(
+            self.database,
+            self.target,
+            self.reference,
+            max_iterations=10,
+            uncertainty_budget=0.05,
+        )
+        assert loose.idca_result.num_iterations <= tight.idca_result.num_iterations
+
+    def test_invalid_rank_raises(self):
+        distribution = probabilistic_inverse_ranking(
+            self.database, self.target, self.reference, max_iterations=2
+        )
+        with pytest.raises(ValueError):
+            distribution.rank_bounds(0)
+        with pytest.raises(ValueError):
+            distribution.rank_bounds(len(distribution) + 1)
+
+    def test_most_likely_rank_in_range(self):
+        distribution = probabilistic_inverse_ranking(
+            self.database, self.target, self.reference, max_iterations=5
+        )
+        assert 1 <= distribution.most_likely_rank() <= len(distribution)
+
+
+class TestExpectedRankRanking:
+    def test_certain_data_matches_distance_order(self):
+        rng = np.random.default_rng(4)
+        points = rng.uniform(0, 1, size=(15, 2))
+        database = UncertainDatabase([PointObject(p) for p in points])
+        query = PointObject([0.5, 0.5])
+        ranking = expected_rank_ranking(database, query, max_iterations=2)
+        dists = np.linalg.norm(points - 0.5, axis=1)
+        expected_order = list(np.argsort(dists))
+        assert ranking.order() == expected_order
+        # certain data: every expected-rank interval collapses to a point
+        for entry in ranking.ranking:
+            assert entry.width == pytest.approx(0.0, abs=1e-9)
+
+    def test_expected_rank_intervals_contain_exact_values(self):
+        database = discrete_sample_database(
+            num_objects=6, samples_per_object=3, max_extent=0.25, seed=61
+        )
+        rng = np.random.default_rng(61)
+        query = DiscreteObject(rng.uniform(0, 1, size=(2, 2)), label="query")
+        ranking = expected_rank_ranking(
+            database, query, max_iterations=10, uncertainty_budget=0.0
+        )
+        for entry in ranking.ranking:
+            pmf = exact_domination_count_pmf(
+                database, database[entry.index], query, exclude_indices=[entry.index]
+            )
+            exact_expected_rank = float(np.arange(1, len(pmf) + 1) @ pmf)
+            assert entry.expected_rank_lower - 1e-6 <= exact_expected_rank
+            assert entry.expected_rank_upper + 1e-6 >= exact_expected_rank
+
+    def test_top_returns_prefix(self):
+        database = uniform_rectangle_database(20, max_extent=0.02, seed=71)
+        query = PointObject([0.3, 0.3])
+        ranking = expected_rank_ranking(database, query, max_iterations=2)
+        assert ranking.top(5) == ranking.ranking[:5]
+        assert len(ranking.order()) == len(database)
+
+    def test_candidate_subset(self):
+        database = uniform_rectangle_database(20, max_extent=0.02, seed=73)
+        query = PointObject([0.3, 0.3])
+        ranking = expected_rank_ranking(
+            database, query, candidate_indices=[1, 3, 5], max_iterations=2
+        )
+        assert set(ranking.order()) == {1, 3, 5}
+
+    def test_query_index_excluded(self):
+        database = uniform_rectangle_database(20, max_extent=0.02, seed=75)
+        ranking = expected_rank_ranking(database, 2, max_iterations=1)
+        assert 2 not in ranking.order()
+
+    def test_truncated_idca_rejected(self):
+        from repro.core import IDCA
+
+        database = uniform_rectangle_database(20, max_extent=0.02, seed=77)
+        query = PointObject([0.3, 0.3])
+        with pytest.raises(ValueError):
+            expected_rank_ranking(database, query, idca=IDCA(database, k_cap=2))

@@ -1,0 +1,102 @@
+"""Tests for probabilistic threshold reverse kNN queries (Corollary 5)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import exact_domination_count_pmf
+from repro.datasets import discrete_sample_database, uniform_rectangle_database
+from repro.queries import probabilistic_rknn_threshold
+from repro.uncertain import DiscreteObject, PointObject, UncertainDatabase
+
+
+def exact_rknn_probability(database, candidate_index, query, k):
+    """Oracle: P(query is among the kNN of the candidate) for discrete data."""
+    pmf = exact_domination_count_pmf(
+        database,
+        query,
+        database[candidate_index],
+        exclude_indices=[candidate_index],
+    )
+    return float(pmf[:k].sum())
+
+
+class TestAgainstOracle:
+    @pytest.mark.parametrize("k,tau", [(1, 0.3), (2, 0.5), (2, 0.75)])
+    def test_decisions_match_oracle(self, k, tau):
+        database = discrete_sample_database(
+            num_objects=7, samples_per_object=4, max_extent=0.3, seed=41
+        )
+        rng = np.random.default_rng(41)
+        query = DiscreteObject(rng.uniform(0, 1, size=(3, 2)), label="query")
+        result = probabilistic_rknn_threshold(
+            database, query, k=k, tau=tau, max_iterations=15
+        )
+        for match in result.matches:
+            assert exact_rknn_probability(database, match.index, query, k) >= tau - 1e-9
+        for match in result.rejected:
+            assert exact_rknn_probability(database, match.index, query, k) <= tau + 1e-9
+        for match in result.undecided:
+            assert match.probability_lower <= tau <= match.probability_upper
+
+    def test_probability_bounds_bracket_oracle(self):
+        database = discrete_sample_database(
+            num_objects=7, samples_per_object=3, max_extent=0.3, seed=43
+        )
+        rng = np.random.default_rng(43)
+        query = DiscreteObject(rng.uniform(0, 1, size=(2, 2)), label="query")
+        result = probabilistic_rknn_threshold(database, query, k=2, tau=0.5, max_iterations=5)
+        for match in result.all_evaluated():
+            exact = exact_rknn_probability(database, match.index, query, 2)
+            assert match.probability_lower <= exact + 1e-9
+            assert match.probability_upper >= exact - 1e-9
+
+
+class TestQueryMechanics:
+    def test_certain_data_matches_classic_rknn(self):
+        rng = np.random.default_rng(2)
+        points = rng.uniform(0, 1, size=(30, 2))
+        database = UncertainDatabase([PointObject(p) for p in points])
+        query_point = np.array([0.5, 0.5])
+        query = PointObject(query_point)
+        k = 3
+        result = probabilistic_rknn_threshold(database, query, k=k, tau=0.5)
+        # classic RkNN: objects for which the query is among their k nearest
+        # neighbours (counting the other database objects)
+        expected = set()
+        for i, p in enumerate(points):
+            dists = np.linalg.norm(points - p, axis=1)
+            dists[i] = np.inf
+            closer = np.sum(dists < np.linalg.norm(query_point - p))
+            if closer < k:
+                expected.add(i)
+        assert set(result.result_indices()) == expected
+        assert not result.undecided
+
+    def test_candidate_subset_is_respected(self):
+        database = uniform_rectangle_database(50, max_extent=0.02, seed=3)
+        query = PointObject([0.5, 0.5])
+        result = probabilistic_rknn_threshold(
+            database, query, k=2, tau=0.5, candidate_indices=[0, 1, 2]
+        )
+        evaluated = {m.index for m in result.all_evaluated()}
+        assert evaluated <= {0, 1, 2}
+
+    def test_query_given_as_index_is_excluded(self):
+        database = uniform_rectangle_database(30, max_extent=0.02, seed=5)
+        result = probabilistic_rknn_threshold(database, 4, k=2, tau=0.5)
+        assert 4 not in {m.index for m in result.all_evaluated()}
+
+    def test_accounting(self):
+        database = uniform_rectangle_database(30, max_extent=0.02, seed=7)
+        query = PointObject([0.2, 0.8])
+        result = probabilistic_rknn_threshold(database, query, k=2, tau=0.5)
+        assert result.candidate_count() == len(database)
+        assert result.elapsed_seconds >= 0.0
+
+    def test_invalid_parameters_raise(self):
+        database = uniform_rectangle_database(10, max_extent=0.02, seed=9)
+        query = PointObject([0.5, 0.5])
+        with pytest.raises(ValueError):
+            probabilistic_rknn_threshold(database, query, k=0, tau=0.5)
+        with pytest.raises(ValueError):
+            probabilistic_rknn_threshold(database, query, k=1, tau=-0.1)

@@ -1,0 +1,110 @@
+"""Unit tests for IDCA stop criteria."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AnyOf,
+    DominationCountBounds,
+    MaxIterations,
+    NeverStop,
+    ThresholdDecision,
+    UncertaintyBelow,
+)
+
+
+def _bounds(lower, upper, k_cap=None):
+    return DominationCountBounds(np.asarray(lower, float), np.asarray(upper, float), k_cap=k_cap)
+
+
+class TestNeverStop:
+    def test_never_stops(self):
+        criterion = NeverStop()
+        bounds = DominationCountBounds.exact([1.0])
+        assert not criterion.should_stop(bounds, 0)
+        assert not criterion.should_stop(bounds, 100)
+
+
+class TestMaxIterations:
+    def test_stops_at_limit(self):
+        criterion = MaxIterations(3)
+        bounds = DominationCountBounds.vacuous(2)
+        assert not criterion.should_stop(bounds, 2)
+        assert criterion.should_stop(bounds, 3)
+        assert criterion.should_stop(bounds, 4)
+
+    def test_zero_iterations_stops_immediately(self):
+        assert MaxIterations(0).should_stop(DominationCountBounds.vacuous(2), 0)
+
+    def test_negative_iterations_raise(self):
+        with pytest.raises(ValueError):
+            MaxIterations(-1)
+
+
+class TestUncertaintyBelow:
+    def test_stops_when_budget_met(self):
+        criterion = UncertaintyBelow(0.5)
+        assert not criterion.should_stop(_bounds([0.0, 0.0], [0.5, 0.5]), 1)
+        assert criterion.should_stop(_bounds([0.2, 0.3], [0.4, 0.4]), 1)
+
+    def test_zero_budget_requires_convergence(self):
+        criterion = UncertaintyBelow(0.0)
+        assert not criterion.should_stop(_bounds([0.0], [0.1]), 1)
+        assert criterion.should_stop(DominationCountBounds.exact([0.4, 0.6]), 1)
+
+    def test_negative_budget_raises(self):
+        with pytest.raises(ValueError):
+            UncertaintyBelow(-0.1)
+
+
+class TestThresholdDecision:
+    def test_true_hit(self):
+        criterion = ThresholdDecision(k=2, tau=0.5)
+        # P(count < 2) is at least 0.7 -> predicate holds
+        bounds = _bounds([0.3, 0.4, 0.0], [0.4, 0.5, 0.3])
+        assert criterion.should_stop(bounds, 1)
+        assert criterion.decision is True
+
+    def test_true_drop(self):
+        criterion = ThresholdDecision(k=1, tau=0.9)
+        # P(count < 1) can be at most 0.4 -> predicate fails
+        bounds = _bounds([0.1, 0.2, 0.1], [0.4, 0.8, 0.9])
+        assert criterion.should_stop(bounds, 1)
+        assert criterion.decision is False
+
+    def test_undecided(self):
+        criterion = ThresholdDecision(k=1, tau=0.5)
+        bounds = _bounds([0.2, 0.0], [0.8, 0.8])
+        assert not criterion.should_stop(bounds, 1)
+        assert criterion.decision is None
+        assert criterion.last_bounds == pytest.approx((0.2, 0.8))
+
+    def test_boundary_inclusive_by_default(self):
+        criterion = ThresholdDecision(k=1, tau=0.5)
+        bounds = DominationCountBounds.exact([0.5, 0.5])
+        assert criterion.should_stop(bounds, 1)
+        assert criterion.decision is True
+
+    def test_strict_mode_boundary(self):
+        criterion = ThresholdDecision(k=1, tau=0.5, strict=True)
+        bounds = DominationCountBounds.exact([0.5, 0.5])
+        assert criterion.should_stop(bounds, 1)
+        assert criterion.decision is False
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            ThresholdDecision(k=0, tau=0.5)
+        with pytest.raises(ValueError):
+            ThresholdDecision(k=1, tau=1.5)
+
+
+class TestAnyOf:
+    def test_any_member_triggers(self):
+        criterion = AnyOf([MaxIterations(5), UncertaintyBelow(0.1)])
+        assert not criterion.should_stop(_bounds([0.0], [1.0]), 1)
+        assert criterion.should_stop(DominationCountBounds.exact([1.0]), 1)
+        assert criterion.should_stop(_bounds([0.0], [1.0]), 5)
+
+    def test_empty_members_raise(self):
+        with pytest.raises(ValueError):
+            AnyOf([])

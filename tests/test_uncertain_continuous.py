@@ -1,0 +1,238 @@
+"""Unit tests for continuous uncertain objects."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Rectangle
+from repro.uncertain import BoxUniformObject, MixtureObject, TruncatedGaussianObject
+
+
+class TestBoxUniformObject:
+    def setup_method(self):
+        self.obj = BoxUniformObject(Rectangle.from_bounds([0.0, 0.0], [2.0, 4.0]))
+
+    def test_mbr(self):
+        assert self.obj.mbr == Rectangle.from_bounds([0.0, 0.0], [2.0, 4.0])
+
+    def test_dimensions(self):
+        assert self.obj.dimensions == 2
+
+    def test_mass_total(self):
+        assert self.obj.mass_in(self.obj.mbr) == pytest.approx(1.0)
+
+    def test_mass_half(self):
+        half = Rectangle.from_bounds([0.0, 0.0], [1.0, 4.0])
+        assert self.obj.mass_in(half) == pytest.approx(0.5)
+
+    def test_mass_quarter(self):
+        quarter = Rectangle.from_bounds([0.0, 0.0], [1.0, 2.0])
+        assert self.obj.mass_in(quarter) == pytest.approx(0.25)
+
+    def test_mass_outside_is_zero(self):
+        outside = Rectangle.from_bounds([5.0, 5.0], [6.0, 6.0])
+        assert self.obj.mass_in(outside) == 0.0
+
+    def test_mass_of_superset_is_one(self):
+        superset = Rectangle.from_bounds([-1.0, -1.0], [3.0, 5.0])
+        assert self.obj.mass_in(superset) == pytest.approx(1.0)
+
+    def test_conditional_median_full_region(self):
+        assert self.obj.conditional_median(self.obj.mbr, axis=0) == pytest.approx(1.0)
+        assert self.obj.conditional_median(self.obj.mbr, axis=1) == pytest.approx(2.0)
+
+    def test_conditional_median_subregion(self):
+        sub = Rectangle.from_bounds([1.0, 0.0], [2.0, 4.0])
+        assert self.obj.conditional_median(sub, axis=0) == pytest.approx(1.5)
+
+    def test_conditional_median_disjoint_raises(self):
+        outside = Rectangle.from_bounds([5.0, 5.0], [6.0, 6.0])
+        with pytest.raises(ValueError):
+            self.obj.conditional_median(outside, axis=0)
+
+    def test_samples_inside_region(self):
+        rng = np.random.default_rng(0)
+        samples = self.obj.sample(500, rng)
+        assert samples.shape == (500, 2)
+        assert np.all(samples >= self.obj.mbr.lows)
+        assert np.all(samples <= self.obj.mbr.highs)
+
+    def test_mean_is_center(self):
+        np.testing.assert_allclose(self.obj.mean(), [1.0, 2.0])
+
+    def test_degenerate_dimension_mass(self):
+        flat = BoxUniformObject(Rectangle.from_bounds([0.0, 1.0], [2.0, 1.0]))
+        inside = Rectangle.from_bounds([0.0, 0.5], [1.0, 1.5])
+        assert flat.mass_in(inside) == pytest.approx(0.5)
+
+    def test_existence_probability_scales_mass(self):
+        partial = BoxUniformObject(
+            Rectangle.from_bounds([0.0, 0.0], [1.0, 1.0]), existence_probability=0.6
+        )
+        assert partial.mass_in(partial.mbr) == pytest.approx(0.6)
+
+    def test_invalid_existence_probability_raises(self):
+        with pytest.raises(ValueError):
+            BoxUniformObject(
+                Rectangle.from_bounds([0.0], [1.0]), existence_probability=0.0
+            )
+
+    def test_decompose_splits_mass_exactly(self):
+        result = self.obj.decompose(self.obj.mbr, axis=1)
+        assert result is not None
+        left, right, left_mass, right_mass = result
+        assert left_mass == pytest.approx(0.5)
+        assert right_mass == pytest.approx(0.5)
+        assert left.union(right) == self.obj.mbr
+
+    def test_decompose_degenerate_axis_returns_none(self):
+        flat = BoxUniformObject(Rectangle.from_bounds([0.0, 1.0], [2.0, 1.0]))
+        assert flat.decompose(flat.mbr, axis=1) is None
+
+    def test_is_certain_false(self):
+        assert not self.obj.is_certain()
+
+
+class TestTruncatedGaussianObject:
+    def setup_method(self):
+        self.obj = TruncatedGaussianObject([0.0, 0.0], [1.0, 2.0], truncation_sigmas=3.0)
+
+    def test_mbr_matches_truncation(self):
+        np.testing.assert_allclose(self.obj.mbr.lows, [-3.0, -6.0])
+        np.testing.assert_allclose(self.obj.mbr.highs, [3.0, 6.0])
+
+    def test_total_mass_is_one(self):
+        assert self.obj.mass_in(self.obj.mbr) == pytest.approx(1.0)
+
+    def test_mass_half_by_symmetry(self):
+        half = Rectangle.from_bounds([-3.0, -6.0], [0.0, 6.0])
+        assert self.obj.mass_in(half) == pytest.approx(0.5, abs=1e-9)
+
+    def test_mass_monotone_in_region_size(self):
+        small = Rectangle.from_bounds([-0.5, -0.5], [0.5, 0.5])
+        large = Rectangle.from_bounds([-1.5, -1.5], [1.5, 1.5])
+        assert self.obj.mass_in(small) < self.obj.mass_in(large)
+
+    def test_mass_outside_is_zero(self):
+        outside = Rectangle.from_bounds([10.0, 10.0], [11.0, 11.0])
+        assert self.obj.mass_in(outside) == 0.0
+
+    def test_conditional_median_full_region_is_mean(self):
+        assert self.obj.conditional_median(self.obj.mbr, axis=0) == pytest.approx(0.0, abs=1e-9)
+
+    def test_conditional_median_subregion_splits_mass(self):
+        sub = Rectangle.from_bounds([0.0, -6.0], [3.0, 6.0])
+        median = self.obj.conditional_median(sub, axis=0)
+        left = Rectangle.from_bounds([0.0, -6.0], [median, 6.0])
+        right = Rectangle.from_bounds([median, -6.0], [3.0, 6.0])
+        assert self.obj.mass_in(left) == pytest.approx(self.obj.mass_in(right), abs=1e-6)
+
+    def test_samples_inside_truncation(self):
+        rng = np.random.default_rng(1)
+        samples = self.obj.sample(1000, rng)
+        assert np.all(samples >= self.obj.mbr.lows - 1e-12)
+        assert np.all(samples <= self.obj.mbr.highs + 1e-12)
+
+    def test_sample_mean_close_to_mean(self):
+        rng = np.random.default_rng(2)
+        samples = self.obj.sample(4000, rng)
+        np.testing.assert_allclose(samples.mean(axis=0), self.obj.mean(), atol=0.15)
+
+    def test_mean_of_symmetric_truncation_is_mu(self):
+        np.testing.assert_allclose(self.obj.mean(), [0.0, 0.0], atol=1e-9)
+
+    def test_asymmetric_bounds(self):
+        obj = TruncatedGaussianObject(
+            [0.0], [1.0], bounds=Rectangle.from_bounds([0.0], [2.0])
+        )
+        assert obj.mass_in(obj.mbr) == pytest.approx(1.0)
+        assert obj.mean()[0] > 0.0
+
+    def test_zero_std_dimension(self):
+        obj = TruncatedGaussianObject([1.0, 2.0], [0.0, 1.0])
+        assert obj.mbr.intervals[0].is_degenerate
+        rng = np.random.default_rng(3)
+        samples = obj.sample(50, rng)
+        assert np.all(samples[:, 0] == 1.0)
+
+    def test_negative_std_raises(self):
+        with pytest.raises(ValueError):
+            TruncatedGaussianObject([0.0], [-1.0])
+
+    def test_invalid_truncation_raises(self):
+        with pytest.raises(ValueError):
+            TruncatedGaussianObject([0.0], [1.0], truncation_sigmas=0.0)
+
+    def test_bounds_dimension_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            TruncatedGaussianObject(
+                [0.0, 0.0], [1.0, 1.0], bounds=Rectangle.from_bounds([0.0], [1.0])
+            )
+
+    def test_decompose_halves_mass(self):
+        result = self.obj.decompose(self.obj.mbr, axis=0)
+        assert result is not None
+        _, _, left_mass, right_mass = result
+        assert left_mass == pytest.approx(0.5, abs=1e-6)
+        assert right_mass == pytest.approx(0.5, abs=1e-6)
+
+
+class TestMixtureObject:
+    def setup_method(self):
+        self.left = BoxUniformObject(Rectangle.from_bounds([0.0, 0.0], [1.0, 1.0]))
+        self.right = BoxUniformObject(Rectangle.from_bounds([3.0, 0.0], [4.0, 1.0]))
+        self.mixture = MixtureObject([self.left, self.right], [0.25, 0.75])
+
+    def test_mbr_covers_components(self):
+        assert self.mixture.mbr == Rectangle.from_bounds([0.0, 0.0], [4.0, 1.0])
+
+    def test_weights_normalised(self):
+        mixture = MixtureObject([self.left, self.right], [1.0, 3.0])
+        np.testing.assert_allclose(mixture.weights, [0.25, 0.75])
+
+    def test_total_mass(self):
+        assert self.mixture.mass_in(self.mixture.mbr) == pytest.approx(1.0)
+
+    def test_mass_of_component_region(self):
+        assert self.mixture.mass_in(self.left.mbr) == pytest.approx(0.25)
+        assert self.mixture.mass_in(self.right.mbr) == pytest.approx(0.75)
+
+    def test_mass_in_gap_is_zero(self):
+        gap = Rectangle.from_bounds([1.5, 0.0], [2.5, 1.0])
+        assert self.mixture.mass_in(gap) == pytest.approx(0.0)
+
+    def test_conditional_median_splits_mass(self):
+        median = self.mixture.conditional_median(self.mixture.mbr, axis=0)
+        left = Rectangle.from_bounds([0.0, 0.0], [median, 1.0])
+        assert self.mixture.mass_in(left) == pytest.approx(0.5, abs=1e-6)
+
+    def test_mean_is_weighted_average(self):
+        expected = 0.25 * self.left.mean() + 0.75 * self.right.mean()
+        np.testing.assert_allclose(self.mixture.mean(), expected)
+
+    def test_samples_respect_mixture_weights(self):
+        rng = np.random.default_rng(4)
+        samples = self.mixture.sample(4000, rng)
+        fraction_right = np.mean(samples[:, 0] > 2.0)
+        assert fraction_right == pytest.approx(0.75, abs=0.05)
+
+    def test_empty_components_raises(self):
+        with pytest.raises(ValueError):
+            MixtureObject([], [])
+
+    def test_mismatched_weights_raises(self):
+        with pytest.raises(ValueError):
+            MixtureObject([self.left], [0.5, 0.5])
+
+    def test_negative_weight_raises(self):
+        with pytest.raises(ValueError):
+            MixtureObject([self.left, self.right], [-0.1, 1.1])
+
+    def test_all_zero_weights_raises(self):
+        with pytest.raises(ValueError):
+            MixtureObject([self.left, self.right], [0.0, 0.0])
+
+    def test_decompose_masses_sum_to_total(self):
+        result = self.mixture.decompose(self.mixture.mbr, axis=0)
+        assert result is not None
+        _, _, left_mass, right_mass = result
+        assert left_mass + right_mass == pytest.approx(1.0, abs=1e-6)

@@ -1,0 +1,130 @@
+"""Unit tests for :class:`repro.uncertain.base.UncertainDatabase` and sampling utils."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Rectangle
+from repro.uncertain import (
+    BoxUniformObject,
+    DiscreteObject,
+    UncertainDatabase,
+    discretise_database,
+    discretise_object,
+    pairwise_distances,
+    sample_database,
+)
+
+
+def _make_db(n=5):
+    return UncertainDatabase(
+        [
+            BoxUniformObject(
+                Rectangle.from_bounds([i, i], [i + 1.0, i + 1.0]), label=f"o{i}"
+            )
+            for i in range(n)
+        ]
+    )
+
+
+class TestDatabase:
+    def test_len_and_getitem(self):
+        db = _make_db(4)
+        assert len(db) == 4
+        assert db[2].label == "o2"
+
+    def test_iteration(self):
+        db = _make_db(3)
+        assert [obj.label for obj in db] == ["o0", "o1", "o2"]
+
+    def test_dimensions(self):
+        assert _make_db().dimensions == 2
+
+    def test_empty_database_raises(self):
+        with pytest.raises(ValueError):
+            UncertainDatabase([])
+
+    def test_mixed_dimensions_raise(self):
+        objects = [
+            BoxUniformObject(Rectangle.from_bounds([0.0], [1.0])),
+            BoxUniformObject(Rectangle.from_bounds([0.0, 0.0], [1.0, 1.0])),
+        ]
+        with pytest.raises(ValueError):
+            UncertainDatabase(objects)
+
+    def test_mbrs_shape_and_values(self):
+        db = _make_db(3)
+        mbrs = db.mbrs()
+        assert mbrs.shape == (3, 2, 2)
+        np.testing.assert_allclose(mbrs[1, :, 0], [1.0, 1.0])
+        np.testing.assert_allclose(mbrs[1, :, 1], [2.0, 2.0])
+
+    def test_mbrs_cached(self):
+        db = _make_db(3)
+        assert db.mbrs() is db.mbrs()
+
+    def test_labels(self):
+        db = _make_db(2)
+        assert db.labels() == ["o0", "o1"]
+
+    def test_labels_synthesised_when_missing(self):
+        db = UncertainDatabase(
+            [BoxUniformObject(Rectangle.from_bounds([0.0, 0.0], [1.0, 1.0]))]
+        )
+        assert db.labels() == ["obj-0"]
+
+
+class TestSamplingUtilities:
+    def test_sample_database_shape(self):
+        db = _make_db(4)
+        rng = np.random.default_rng(0)
+        samples = sample_database(db, 10, rng)
+        assert samples.shape == (4, 10, 2)
+
+    def test_sample_database_within_mbrs(self):
+        db = _make_db(4)
+        rng = np.random.default_rng(0)
+        samples = sample_database(db, 25, rng)
+        mbrs = db.mbrs()
+        assert np.all(samples >= mbrs[:, None, :, 0])
+        assert np.all(samples <= mbrs[:, None, :, 1])
+
+    def test_sample_database_invalid_count_raises(self):
+        db = _make_db(2)
+        with pytest.raises(ValueError):
+            sample_database(db, 0, np.random.default_rng(0))
+
+    def test_discretise_object_produces_discrete(self):
+        obj = BoxUniformObject(Rectangle.from_bounds([0.0, 0.0], [1.0, 1.0]))
+        rng = np.random.default_rng(1)
+        disc = discretise_object(obj, 30, rng)
+        assert isinstance(disc, DiscreteObject)
+        assert disc.points.shape == (30, 2)
+        assert obj.mbr.contains_rectangle(disc.mbr)
+
+    def test_discretise_object_keeps_existing_discrete(self):
+        disc = DiscreteObject([[0.0, 0.0], [1.0, 1.0]])
+        rng = np.random.default_rng(1)
+        assert discretise_object(disc, 10, rng) is disc
+
+    def test_discretise_database(self):
+        db = _make_db(3)
+        rng = np.random.default_rng(2)
+        discrete = discretise_database(db, 20, rng)
+        assert len(discrete) == 3
+        assert all(isinstance(obj, DiscreteObject) for obj in discrete)
+
+    def test_pairwise_distances_euclidean(self):
+        a = np.array([[0.0, 0.0], [1.0, 0.0]])
+        b = np.array([[0.0, 3.0]])
+        dists = pairwise_distances(a, b)
+        np.testing.assert_allclose(dists, [[3.0], [np.sqrt(10.0)]])
+
+    def test_pairwise_distances_chebyshev(self):
+        a = np.array([[0.0, 0.0]])
+        b = np.array([[3.0, 4.0]])
+        assert pairwise_distances(a, b, p=np.inf)[0, 0] == pytest.approx(4.0)
+
+    def test_pairwise_distances_shape(self):
+        a = np.zeros((5, 3))
+        b = np.ones((7, 3))
+        assert pairwise_distances(a, b).shape == (5, 7)

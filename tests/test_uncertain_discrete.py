@@ -1,0 +1,168 @@
+"""Unit tests for discrete uncertain objects."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Rectangle
+from repro.uncertain import DiscreteObject, PointObject
+
+
+class TestConstruction:
+    def test_basic(self):
+        obj = DiscreteObject([[0.0, 0.0], [1.0, 1.0]], [0.3, 0.7])
+        assert obj.points.shape == (2, 2)
+        np.testing.assert_allclose(obj.weights, [0.3, 0.7])
+
+    def test_default_uniform_weights(self):
+        obj = DiscreteObject([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0]])
+        np.testing.assert_allclose(obj.weights, [1 / 3, 1 / 3, 1 / 3])
+
+    def test_weights_are_normalised(self):
+        obj = DiscreteObject([[0.0], [1.0]], [2.0, 6.0])
+        np.testing.assert_allclose(obj.weights, [0.25, 0.75])
+
+    def test_single_point_reshaped(self):
+        obj = DiscreteObject([1.0, 2.0])
+        assert obj.points.shape == (1, 2)
+
+    def test_empty_points_raises(self):
+        with pytest.raises(ValueError):
+            DiscreteObject(np.empty((0, 2)))
+
+    def test_negative_weights_raise(self):
+        with pytest.raises(ValueError):
+            DiscreteObject([[0.0], [1.0]], [-0.5, 1.5])
+
+    def test_zero_weights_raise(self):
+        with pytest.raises(ValueError):
+            DiscreteObject([[0.0], [1.0]], [0.0, 0.0])
+
+    def test_weight_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            DiscreteObject([[0.0], [1.0]], [1.0])
+
+    def test_mbr_bounds_points(self):
+        obj = DiscreteObject([[0.0, 5.0], [2.0, 1.0]])
+        assert obj.mbr == Rectangle.from_bounds([0.0, 1.0], [2.0, 5.0])
+
+    def test_existence_probability_scales_weights(self):
+        obj = DiscreteObject([[0.0], [1.0]], existence_probability=0.5)
+        assert obj.weights.sum() == pytest.approx(0.5)
+
+
+class TestMassAndMedian:
+    def setup_method(self):
+        self.obj = DiscreteObject(
+            [[0.0, 0.0], [1.0, 0.0], [2.0, 0.0], [3.0, 0.0]],
+            [0.1, 0.2, 0.3, 0.4],
+        )
+
+    def test_mass_total(self):
+        assert self.obj.mass_in(self.obj.mbr) == pytest.approx(1.0)
+
+    def test_mass_subregion(self):
+        sub = Rectangle.from_bounds([0.5, -1.0], [2.5, 1.0])
+        assert self.obj.mass_in(sub) == pytest.approx(0.5)
+
+    def test_mass_boundary_points_included(self):
+        sub = Rectangle.from_bounds([1.0, 0.0], [2.0, 0.0])
+        assert self.obj.mass_in(sub) == pytest.approx(0.5)
+
+    def test_mass_empty_region(self):
+        assert self.obj.mass_in(Rectangle.from_bounds([10.0, 10.0], [11.0, 11.0])) == 0.0
+
+    def test_conditional_median_not_on_alternative(self):
+        median = self.obj.conditional_median(self.obj.mbr, axis=0)
+        assert median not in {0.0, 1.0, 2.0, 3.0}
+
+    def test_conditional_median_raises_on_empty_region(self):
+        with pytest.raises(ValueError):
+            self.obj.conditional_median(
+                Rectangle.from_bounds([10.0, 10.0], [11.0, 11.0]), axis=0
+            )
+
+    def test_mean_is_weighted_average(self):
+        expected_x = 0.1 * 0 + 0.2 * 1 + 0.3 * 2 + 0.4 * 3
+        np.testing.assert_allclose(self.obj.mean(), [expected_x, 0.0])
+
+
+class TestDecompose:
+    def setup_method(self):
+        self.obj = DiscreteObject(
+            [[0.0, 0.0], [1.0, 0.5], [2.0, 1.0], [3.0, 1.5]],
+            [0.1, 0.2, 0.3, 0.4],
+        )
+
+    def test_decompose_masses_sum_to_parent(self):
+        result = self.obj.decompose(self.obj.mbr, axis=0)
+        assert result is not None
+        _, _, left_mass, right_mass = result
+        assert left_mass + right_mass == pytest.approx(1.0)
+
+    def test_decompose_children_are_tight(self):
+        result = self.obj.decompose(self.obj.mbr, axis=0)
+        left, right, _, _ = result
+        # children must only cover alternatives, not the full parent extent
+        assert left.highs[0] < right.lows[0]
+
+    def test_decompose_children_disjoint_alternatives(self):
+        left, right, left_mass, right_mass = self.obj.decompose(self.obj.mbr, axis=0)
+        assert self.obj.mass_in(left) == pytest.approx(left_mass)
+        assert self.obj.mass_in(right) == pytest.approx(right_mass)
+
+    def test_decompose_single_point_region_returns_none(self):
+        region = Rectangle.from_bounds([0.0, 0.0], [0.5, 0.2])
+        assert self.obj.decompose(region, axis=0) is None
+
+    def test_decompose_degenerate_axis_returns_none(self):
+        collinear = DiscreteObject([[0.0, 0.0], [0.0, 1.0], [0.0, 2.0]])
+        assert collinear.decompose(collinear.mbr, axis=0) is None
+        assert collinear.decompose(collinear.mbr, axis=1) is not None
+
+    def test_recursive_decomposition_reaches_singletons(self):
+        region = self.obj.mbr
+        result = self.obj.decompose(region, axis=0)
+        left, right, _, _ = result
+        # one more split of each side yields regions containing single points
+        for sub in (left, right):
+            deeper = self.obj.decompose(sub, axis=0)
+            if deeper is not None:
+                sub_left, sub_right, ml, mr = deeper
+                assert ml > 0 and mr > 0
+
+
+class TestSampling:
+    def test_samples_are_alternatives(self):
+        obj = DiscreteObject([[0.0, 0.0], [1.0, 1.0]], [0.5, 0.5])
+        rng = np.random.default_rng(0)
+        samples = obj.sample(200, rng)
+        for sample in samples:
+            assert tuple(sample) in {(0.0, 0.0), (1.0, 1.0)}
+
+    def test_sample_frequencies_match_weights(self):
+        obj = DiscreteObject([[0.0], [1.0]], [0.2, 0.8])
+        rng = np.random.default_rng(1)
+        samples = obj.sample(5000, rng)
+        assert np.mean(samples[:, 0]) == pytest.approx(0.8, abs=0.03)
+
+
+class TestPointObject:
+    def test_point_object_is_certain(self):
+        obj = PointObject([0.5, 0.5])
+        assert obj.is_certain()
+        assert obj.mbr.is_degenerate
+
+    def test_point_object_mass(self):
+        obj = PointObject([0.5, 0.5])
+        assert obj.mass_in(Rectangle.from_bounds([0.0, 0.0], [1.0, 1.0])) == 1.0
+        assert obj.mass_in(Rectangle.from_bounds([0.6, 0.6], [1.0, 1.0])) == 0.0
+
+    def test_point_object_sampling(self):
+        obj = PointObject([0.25, 0.75])
+        rng = np.random.default_rng(2)
+        samples = obj.sample(10, rng)
+        assert np.all(samples == np.array([0.25, 0.75]))
+
+    def test_point_object_cannot_be_decomposed(self):
+        obj = PointObject([0.25, 0.75])
+        assert obj.decompose(obj.mbr, axis=0) is None

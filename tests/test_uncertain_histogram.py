@@ -1,0 +1,153 @@
+"""Unit tests for histogram-based uncertain objects."""
+
+import numpy as np
+import pytest
+
+from repro.core import IDCA, MaxIterations
+from repro.geometry import Rectangle
+from repro.uncertain import (
+    DecompositionTree,
+    HistogramObject,
+    UncertainDatabase,
+)
+
+
+def simple_histogram():
+    """A 2-D histogram object: skewed marginal in x, uniform in y."""
+    return HistogramObject(
+        edges=[[0.0, 1.0, 2.0, 4.0], [0.0, 2.0]],
+        masses=[[1.0, 2.0, 1.0], [1.0]],
+    )
+
+
+class TestConstruction:
+    def test_mbr(self):
+        obj = simple_histogram()
+        assert obj.mbr == Rectangle.from_bounds([0.0, 0.0], [4.0, 2.0])
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            HistogramObject(edges=[[0.0, 1.0]], masses=[[1.0], [1.0]])
+
+    def test_empty_dimensions_raise(self):
+        with pytest.raises(ValueError):
+            HistogramObject(edges=[], masses=[])
+
+    def test_non_increasing_edges_raise(self):
+        with pytest.raises(ValueError):
+            HistogramObject(edges=[[0.0, 0.0, 1.0]], masses=[[0.5, 0.5]])
+
+    def test_wrong_mass_count_raises(self):
+        with pytest.raises(ValueError):
+            HistogramObject(edges=[[0.0, 1.0, 2.0]], masses=[[1.0]])
+
+    def test_negative_masses_raise(self):
+        with pytest.raises(ValueError):
+            HistogramObject(edges=[[0.0, 1.0, 2.0]], masses=[[-1.0, 2.0]])
+
+    def test_zero_masses_raise(self):
+        with pytest.raises(ValueError):
+            HistogramObject(edges=[[0.0, 1.0]], masses=[[0.0]])
+
+
+class TestMass:
+    def test_total_mass(self):
+        obj = simple_histogram()
+        assert obj.mass_in(obj.mbr) == pytest.approx(1.0)
+
+    def test_single_bin_mass(self):
+        obj = simple_histogram()
+        first_bin = Rectangle.from_bounds([0.0, 0.0], [1.0, 2.0])
+        assert obj.mass_in(first_bin) == pytest.approx(0.25)
+
+    def test_partial_bin_mass(self):
+        obj = simple_histogram()
+        half_first_bin = Rectangle.from_bounds([0.0, 0.0], [0.5, 2.0])
+        assert obj.mass_in(half_first_bin) == pytest.approx(0.125)
+
+    def test_mass_across_bins(self):
+        obj = simple_histogram()
+        region = Rectangle.from_bounds([0.5, 0.0], [2.0, 2.0])
+        # half of bin 1 (0.125) plus all of bin 2 (0.5)
+        assert obj.mass_in(region) == pytest.approx(0.625)
+
+    def test_mass_outside(self):
+        obj = simple_histogram()
+        assert obj.mass_in(Rectangle.from_bounds([5.0, 0.0], [6.0, 1.0])) == 0.0
+
+    def test_mass_scales_with_second_dimension(self):
+        obj = simple_histogram()
+        region = Rectangle.from_bounds([0.0, 0.0], [4.0, 1.0])
+        assert obj.mass_in(region) == pytest.approx(0.5)
+
+
+class TestMedianAndDecomposition:
+    def test_conditional_median_splits_mass(self):
+        obj = simple_histogram()
+        median = obj.conditional_median(obj.mbr, axis=0)
+        left = Rectangle.from_bounds([0.0, 0.0], [median, 2.0])
+        assert obj.mass_in(left) == pytest.approx(0.5, abs=1e-9)
+
+    def test_conditional_median_in_subregion(self):
+        obj = simple_histogram()
+        region = Rectangle.from_bounds([1.0, 0.0], [4.0, 2.0])
+        median = obj.conditional_median(region, axis=0)
+        left = Rectangle.from_bounds([1.0, 0.0], [median, 2.0])
+        assert obj.mass_in(left) == pytest.approx(0.5 * obj.mass_in(region), abs=1e-9)
+
+    def test_decomposition_tree_masses(self):
+        obj = simple_histogram()
+        tree = DecompositionTree(obj)
+        for depth in (1, 2, 3, 4):
+            parts = tree.partitions(depth)
+            assert sum(p.probability for p in parts) == pytest.approx(1.0, abs=1e-9)
+            for part in parts:
+                assert abs(part.probability - obj.mass_in(part.region)) < 1e-9
+
+    def test_samples_follow_bin_masses(self):
+        obj = simple_histogram()
+        rng = np.random.default_rng(0)
+        samples = obj.sample(8000, rng)
+        assert np.all(samples >= obj.mbr.lows)
+        assert np.all(samples <= obj.mbr.highs)
+        middle_bin = np.mean((samples[:, 0] >= 1.0) & (samples[:, 0] <= 2.0))
+        assert middle_bin == pytest.approx(0.5, abs=0.03)
+
+    def test_mean(self):
+        obj = simple_histogram()
+        # x mean: 0.25*0.5 + 0.5*1.5 + 0.25*3.0 = 1.625 ; y mean: 1.0
+        np.testing.assert_allclose(obj.mean(), [1.625, 1.0])
+
+    def test_from_samples_roundtrip(self):
+        rng = np.random.default_rng(1)
+        points = rng.normal(0.5, 0.1, size=(500, 2))
+        obj = HistogramObject.from_samples(points, bins=6, label="fit")
+        assert obj.dimensions == 2
+        assert obj.mass_in(obj.mbr) == pytest.approx(1.0)
+        np.testing.assert_allclose(obj.mean(), points.mean(axis=0), atol=0.05)
+
+    def test_from_samples_invalid_input(self):
+        with pytest.raises(ValueError):
+            HistogramObject.from_samples(np.empty((0, 2)))
+        with pytest.raises(ValueError):
+            HistogramObject.from_samples(np.zeros((3, 2)), bins=0)
+
+
+class TestHistogramInIDCA:
+    def test_histogram_objects_work_end_to_end(self):
+        """Histogram objects plug into the IDCA pipeline unchanged."""
+        rng = np.random.default_rng(2)
+        objects = []
+        for i in range(12):
+            center = rng.uniform(0.0, 1.0, size=2)
+            points = center + rng.normal(0.0, 0.03, size=(200, 2))
+            objects.append(HistogramObject.from_samples(points, bins=4, label=f"h{i}"))
+        database = UncertainDatabase(objects)
+        reference = objects[0]
+        idca = IDCA(database)
+        result = idca.domination_count(
+            3, reference, stop=MaxIterations(3), max_iterations=3, exclude_indices=[0]
+        )
+        assert result.bounds.lower.sum() <= 1.0 + 1e-9
+        assert result.bounds.upper.sum() >= 1.0 - 1e-9
+        assert result.iterations[-1].uncertainty <= result.iterations[0].uncertainty
