@@ -1,0 +1,139 @@
+"""Engine batch mode vs seed-style independent query calls.
+
+A seeded 20-query kNN stream (drawn with repetition from 8 distinct query
+objects — production query streams repeat) is evaluated twice over the same
+seeded dataset:
+
+* **independent** — 20 separate ``probabilistic_knn_threshold`` calls.  Each
+  call builds a fresh engine and refinement context, which is exactly the
+  seed behaviour of one isolated filter-and-refine loop per query.
+* **batch** — one ``QueryEngine.evaluate_many`` call.  The shared refinement
+  context reuses decomposition trees and memoised per-pair domination bounds
+  across the whole stream, so repeated queries skip their pdom kernels
+  entirely and distinct queries still share database-object decompositions.
+
+Both modes must return identical results; the batch must take less total
+wall-clock time.  The measured numbers are written to ``BENCH_engine.json``
+(override the location with the ``BENCH_ENGINE_JSON`` environment variable).
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_engine_batch.py
+
+or through the benchmark suite::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_engine_batch.py -q -s
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.datasets import random_reference_object, uniform_rectangle_database
+from repro.engine import KNNQuery, QueryEngine
+from repro.experiments import run_query_batch
+from repro.queries import probabilistic_knn_threshold
+
+NUM_OBJECTS = 150
+NUM_DISTINCT_QUERIES = 8
+STREAM_LENGTH = 20
+K = 3
+TAU = 0.5
+MAX_ITERATIONS = 4
+SEED = 7
+
+
+def _workload():
+    database = uniform_rectangle_database(
+        num_objects=NUM_OBJECTS, max_extent=0.05, seed=0
+    )
+    rng = np.random.default_rng(SEED)
+    distinct = [
+        random_reference_object(extent=0.05, rng=rng, label=f"query-{i}")
+        for i in range(NUM_DISTINCT_QUERIES)
+    ]
+    stream = [distinct[i] for i in rng.integers(0, NUM_DISTINCT_QUERIES, size=STREAM_LENGTH)]
+    return database, stream
+
+
+def run_benchmark() -> dict:
+    """Time both modes on the seeded stream and return the comparison."""
+    database, stream = _workload()
+    requests = [
+        KNNQuery(query, k=K, tau=TAU, max_iterations=MAX_ITERATIONS) for query in stream
+    ]
+
+    start = time.perf_counter()
+    independent = [
+        probabilistic_knn_threshold(
+            database, query, k=K, tau=TAU, max_iterations=MAX_ITERATIONS
+        )
+        for query in stream
+    ]
+    independent_seconds = time.perf_counter() - start
+
+    engine = QueryEngine(database)
+    start = time.perf_counter()
+    per_query_table, batch = run_query_batch(
+        engine,
+        requests,
+        name="engine_batch",
+        description="20-query kNN stream through QueryEngine.evaluate_many",
+    )
+    batch_seconds = time.perf_counter() - start
+
+    identical = all(
+        a.result_indices() == b.result_indices()
+        and [m.index for m in a.undecided] == [m.index for m in b.undecided]
+        and [m.index for m in a.rejected] == [m.index for m in b.rejected]
+        for a, b in zip(independent, batch)
+    )
+    return {
+        "workload": {
+            "num_objects": NUM_OBJECTS,
+            "stream_length": STREAM_LENGTH,
+            "distinct_queries": NUM_DISTINCT_QUERIES,
+            "k": K,
+            "tau": TAU,
+            "max_iterations": MAX_ITERATIONS,
+            "seed": SEED,
+        },
+        "independent_seconds": independent_seconds,
+        "batch_seconds": batch_seconds,
+        "speedup": independent_seconds / max(batch_seconds, 1e-12),
+        "results_identical": identical,
+        "context_stats": engine.context.stats(),
+        "per_query_seconds": per_query_table.column("seconds"),
+    }
+
+
+def _write_report(report: dict) -> str:
+    path = os.environ.get("BENCH_ENGINE_JSON", "BENCH_engine.json")
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=1)
+        handle.write("\n")
+    return path
+
+
+def test_engine_batch_beats_independent_calls():
+    report = run_benchmark()
+    path = _write_report(report)
+    print()
+    print(
+        f"independent {report['independent_seconds']:.2f}s  "
+        f"batch {report['batch_seconds']:.2f}s  "
+        f"speedup {report['speedup']:.2f}x  -> {path}"
+    )
+    assert report["results_identical"]
+    assert report["batch_seconds"] < report["independent_seconds"]
+
+
+if __name__ == "__main__":
+    result = run_benchmark()
+    path = _write_report(result)
+    print(json.dumps(result, indent=1))
+    print(f"wrote {path}")

@@ -95,8 +95,19 @@ from .datasets import (
     uniform_rectangle_database,
 )
 from .index import RTree
+from .engine import (
+    DominationCountQuery,
+    InverseRankingQuery,
+    KNNQuery,
+    QueryEngine,
+    RangeQuery,
+    RankingQuery,
+    RefinementContext,
+    RefinementScheduler,
+    RKNNQuery,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     # core
@@ -167,4 +178,14 @@ __all__ = [
     "target_by_mindist_rank",
     # index
     "RTree",
+    # engine
+    "QueryEngine",
+    "RefinementContext",
+    "RefinementScheduler",
+    "KNNQuery",
+    "RKNNQuery",
+    "RangeQuery",
+    "RankingQuery",
+    "InverseRankingQuery",
+    "DominationCountQuery",
 ]

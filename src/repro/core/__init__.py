@@ -18,7 +18,7 @@ from .generating_functions import (
     poisson_binomial_pmf,
     regular_gf_bounds,
 )
-from .idca import IDCA, IDCAResult, IterationStats
+from .idca import IDCA, IDCAResult, IDCARun, IterationStats
 from .stop_criteria import (
     AnyOf,
     MaxIterations,
@@ -43,6 +43,7 @@ __all__ = [
     "regular_gf_bounds",
     "IDCA",
     "IDCAResult",
+    "IDCARun",
     "IterationStats",
     "AnyOf",
     "MaxIterations",

@@ -21,6 +21,7 @@ The result carries the final conservative/progressive PMF bounds of
 
 from __future__ import annotations
 
+import itertools
 import time
 from dataclasses import dataclass, field
 from typing import Optional, Sequence, Union
@@ -38,7 +39,7 @@ from .domination_count import (
 )
 from .stop_criteria import StopCriterion
 
-__all__ = ["IDCA", "IDCAResult", "IterationStats"]
+__all__ = ["IDCA", "IDCARun", "IDCAResult", "IterationStats"]
 
 ObjectOrIndex = Union[UncertainObject, int, np.integer]
 
@@ -138,6 +139,15 @@ class IDCA:
     adaptive_width_threshold:
         Bound-width budget per influence object below which adaptive
         refinement stops splitting that object.
+    tree_cache:
+        Optional externally-owned decomposition-tree cache (keyed by object
+        identity).  Passing the same mapping to several IDCA instances — as
+        the query engine's shared refinement context does — lets them reuse
+        each other's decompositions.
+    pair_bounds_cache:
+        Optional externally-owned memo of per-partition-pair domination
+        bounds, shared the same way.  Entries are deterministic functions of
+        their key, so sharing never changes results.
     """
 
     def __init__(
@@ -152,6 +162,8 @@ class IDCA:
         k_cap: Optional[int] = None,
         adaptive_candidate_refinement: bool = False,
         adaptive_width_threshold: float = 0.01,
+        tree_cache: Optional[dict] = None,
+        pair_bounds_cache: Optional[dict] = None,
     ):
         if max_target_depth < 0 or max_reference_depth < 0:
             raise ValueError("decomposition depth caps must be non-negative")
@@ -169,16 +181,28 @@ class IDCA:
         self.k_cap = k_cap
         self.adaptive_candidate_refinement = adaptive_candidate_refinement
         self.adaptive_width_threshold = adaptive_width_threshold
-        self._trees: dict[int, DecompositionTree] = {}
+        self._trees: dict[int, DecompositionTree] = (
+            tree_cache if tree_cache is not None else {}
+        )
+        self._pair_bounds: Optional[dict] = pair_bounds_cache
 
     # ------------------------------------------------------------------ #
     # helpers
     # ------------------------------------------------------------------ #
     def _tree_for(self, obj: UncertainObject) -> DecompositionTree:
-        """Decomposition tree of ``obj``, cached per object identity."""
+        """Decomposition tree of ``obj``, cached per object identity.
+
+        The cache is bounded: long-lived shared caches would otherwise grow
+        by one tree per transient query object.  Eviction is safe because
+        memoised pair bounds key trees by their process-unique token, never
+        by a reusable ``id()``.
+        """
         key = id(obj)
         tree = self._trees.get(key)
         if tree is None:
+            if len(self._trees) >= _TREE_CACHE_MAX:
+                for stale in list(itertools.islice(iter(self._trees), _TREE_CACHE_MAX // 10)):
+                    del self._trees[stale]
             tree = DecompositionTree(obj, axis_policy=self.axis_policy)
             self._trees[key] = tree
         return tree
@@ -199,9 +223,63 @@ class IDCA:
             return self.database[index]
         return spec
 
+    def _pair_bounds_for(
+        self,
+        key: Optional[tuple],
+        regions: np.ndarray,
+        masses: np.ndarray,
+        target_region: np.ndarray,
+        reference_region: np.ndarray,
+    ) -> tuple[float, float]:
+        """Memoised ``pdom_bounds_from_partitions`` for one partition pair.
+
+        ``key`` identifies the partition pair positionally — candidate
+        database position and depth, plus (tree identity, depth, partition
+        index) for the target and reference regions.  Partition arrays are
+        deterministic and cached per (tree, depth), so the positional key
+        determines the bounds completely without hashing region coordinates.
+        ``None`` (no cache wired in) computes directly.
+        """
+        cache = self._pair_bounds
+        if cache is None or key is None:
+            return pdom_bounds_from_partitions(
+                regions, masses, target_region, reference_region,
+                p=self.p, criterion=self.criterion,
+            )
+        value = cache.get(key)
+        if value is None:
+            value = pdom_bounds_from_partitions(
+                regions, masses, target_region, reference_region,
+                p=self.p, criterion=self.criterion,
+            )
+            if len(cache) >= _PAIR_BOUNDS_CACHE_MAX:
+                # FIFO eviction of the oldest tenth keeps the memo bounded
+                for stale in list(itertools.islice(iter(cache), _PAIR_BOUNDS_CACHE_MAX // 10)):
+                    del cache[stale]
+            cache[key] = value
+        return value
+
     # ------------------------------------------------------------------ #
-    # main entry point
+    # main entry points
     # ------------------------------------------------------------------ #
+    def start_run(
+        self,
+        target: ObjectOrIndex,
+        reference: ObjectOrIndex,
+        stop: Optional[StopCriterion] = None,
+        max_iterations: int = 10,
+        exclude_indices: Optional[Sequence[int]] = None,
+    ) -> "IDCARun":
+        """Begin an incremental IDCA run (filter step executed eagerly).
+
+        The returned :class:`IDCARun` has completed iteration 0 (the
+        complete-domination filter).  Callers advance it one refinement
+        iteration at a time via :meth:`IDCARun.step` — the query engine's
+        scheduler uses this to interleave iterations across many candidates —
+        or drain it with :meth:`IDCARun.run`.
+        """
+        return IDCARun(self, target, reference, stop, max_iterations, exclude_indices)
+
     def domination_count(
         self,
         target: ObjectOrIndex,
@@ -224,137 +302,246 @@ class IDCA:
             Additional database positions to ignore (on top of the positions
             of ``target`` / ``reference`` when given as indices).
         """
+        return self.start_run(
+            target,
+            reference,
+            stop=stop,
+            max_iterations=max_iterations,
+            exclude_indices=exclude_indices,
+        ).run()
+
+
+_PAIR_BOUNDS_CACHE_MAX = 200_000
+_TREE_CACHE_MAX = 4096
+
+
+class IDCARun:
+    """Incremental execution state of one IDCA invocation.
+
+    Construction performs the resolution and complete-domination filter step
+    (iteration 0) exactly as the monolithic algorithm did; every
+    :meth:`step` call then executes one refinement iteration.  The run
+    finishes when the stop criterion fires, the bounds converge, the
+    iteration budget is exhausted, or there is nothing to refine.
+    :attr:`result` is valid at every point in between, so schedulers can
+    inspect the current bounds to prioritise refinement across candidates.
+    """
+
+    def __init__(
+        self,
+        idca: IDCA,
+        target: ObjectOrIndex,
+        reference: ObjectOrIndex,
+        stop: Optional[StopCriterion] = None,
+        max_iterations: int = 10,
+        exclude_indices: Optional[Sequence[int]] = None,
+    ):
         if max_iterations < 0:
             raise ValueError("max_iterations must be non-negative")
-        exclude: set[int] = set(int(i) for i in exclude_indices) if exclude_indices else set()
-        target_obj = self._resolve(target, exclude)
-        reference_obj = self._resolve(reference, exclude)
+        self.idca = idca
+        self.stop = stop
+        self.max_iterations = max_iterations
+        exclude: set[int] = (
+            set(int(i) for i in exclude_indices) if exclude_indices else set()
+        )
+        self.target_obj = idca._resolve(target, exclude)
+        self.reference_obj = idca._resolve(reference, exclude)
+        self.exclude = exclude
 
         start = time.perf_counter()
         filter_result = complete_domination_filter(
-            self.database,
-            target_obj,
-            reference_obj,
+            idca.database,
+            self.target_obj,
+            self.reference_obj,
             exclude_indices=exclude,
-            p=self.p,
-            criterion=self.criterion,
+            p=idca.p,
+            criterion=idca.criterion,
         )
-        complete_count = filter_result.complete_count
-        influence = filter_result.influence_indices
-        total_objects = len(self.database) - len(exclude)
+        self._complete_count = filter_result.complete_count
+        self._influence = filter_result.influence_indices
+        self._total_objects = len(idca.database) - len(exclude)
 
         bounds = domination_count_bounds(
-            np.zeros(influence.shape[0]),
-            np.ones(influence.shape[0]),
-            complete_count=complete_count,
-            total_objects=total_objects,
-            k_cap=self.k_cap,
+            np.zeros(self._influence.shape[0]),
+            np.ones(self._influence.shape[0]),
+            complete_count=self._complete_count,
+            total_objects=self._total_objects,
+            k_cap=idca.k_cap,
         )
-        iterations = [
-            IterationStats(
-                iteration=0,
-                uncertainty=bounds.uncertainty(),
-                elapsed_seconds=time.perf_counter() - start,
-                num_pairs=1,
-                candidate_partitions=1,
-            )
-        ]
-        result = IDCAResult(
+        self.result = IDCAResult(
             bounds=bounds,
-            complete_count=complete_count,
-            influence_indices=influence,
+            complete_count=self._complete_count,
+            influence_indices=self._influence,
             pruned_count=int(filter_result.pruned_indices.shape[0]),
-            iterations=iterations,
+            iterations=[
+                IterationStats(
+                    iteration=0,
+                    uncertainty=bounds.uncertainty(),
+                    elapsed_seconds=time.perf_counter() - start,
+                    num_pairs=1,
+                    candidate_partitions=1,
+                )
+            ],
         )
 
-        decision_stop = stop
-        if decision_stop is not None and decision_stop.should_stop(bounds, 0):
-            result.decision = getattr(decision_stop, "decision", None)
-            return result
-        if influence.shape[0] == 0 or max_iterations == 0:
-            result.decision = getattr(decision_stop, "decision", None)
-            return result
+        self._iteration = 0
+        self._finished = False
+        if stop is not None and stop.should_stop(bounds, 0):
+            self._finished = True
+        elif self._influence.shape[0] == 0 or max_iterations == 0:
+            self._finished = True
+        self.result.decision = getattr(stop, "decision", None)
 
-        target_tree = self._tree_for(target_obj)
-        reference_tree = self._tree_for(reference_obj)
-        influence_trees = [self._tree_for(self.database[int(i)]) for i in influence]
-        num_candidates = len(influence_trees)
-        candidate_depths = np.zeros(num_candidates, dtype=int)
-        previous_widths = np.full(num_candidates, np.inf)
+        self._influence_trees: Optional[list[DecompositionTree]] = None
+        self._candidate_depths: Optional[np.ndarray] = None
+        self._previous_widths: Optional[np.ndarray] = None
 
-        for iteration in range(1, max_iterations + 1):
-            iter_start = time.perf_counter()
-            target_depth = min(iteration, self.max_target_depth)
-            reference_depth = min(iteration, self.max_reference_depth)
-            if self.adaptive_candidate_refinement:
-                # only objects that still contribute bound width get refined
-                candidate_depths[previous_widths > self.adaptive_width_threshold] += 1
-            else:
-                candidate_depths[:] = iteration
-            if self.max_candidate_depth is not None:
-                np.minimum(candidate_depths, self.max_candidate_depth, out=candidate_depths)
+    # ------------------------------------------------------------------ #
+    # state
+    # ------------------------------------------------------------------ #
+    @property
+    def finished(self) -> bool:
+        """True when no further refinement iteration will be executed."""
+        return self._finished
 
-            target_regions, target_masses = target_tree.partitions_arrays(target_depth)
-            reference_regions, reference_masses = reference_tree.partitions_arrays(
-                reference_depth
-            )
-            candidate_parts = [
-                tree.partitions_arrays(int(depth))
-                for tree, depth in zip(influence_trees, candidate_depths)
+    @property
+    def iteration(self) -> int:
+        """Number of refinement iterations executed so far."""
+        return self._iteration
+
+    @property
+    def iterations_left(self) -> int:
+        """Remaining iteration budget."""
+        return 0 if self._finished else self.max_iterations - self._iteration
+
+    def _materialise_trees(self) -> None:
+        idca = self.idca
+        self._target_tree = idca._tree_for(self.target_obj)
+        self._reference_tree = idca._tree_for(self.reference_obj)
+        self._influence_trees = [
+            idca._tree_for(idca.database[int(i)]) for i in self._influence
+        ]
+        num_candidates = len(self._influence_trees)
+        self._candidate_depths = np.zeros(num_candidates, dtype=int)
+        self._previous_widths = np.full(num_candidates, np.inf)
+
+    # ------------------------------------------------------------------ #
+    # stepping
+    # ------------------------------------------------------------------ #
+    def step(self) -> bool:
+        """Execute one refinement iteration; returns False when finished."""
+        if self._finished:
+            return False
+        idca = self.idca
+        if self._influence_trees is None:
+            self._materialise_trees()
+        iteration = self._iteration + 1
+        iter_start = time.perf_counter()
+        target_depth = min(iteration, idca.max_target_depth)
+        reference_depth = min(iteration, idca.max_reference_depth)
+        candidate_depths = self._candidate_depths
+        if idca.adaptive_candidate_refinement:
+            # only objects that still contribute bound width get refined
+            candidate_depths[self._previous_widths > idca.adaptive_width_threshold] += 1
+        else:
+            candidate_depths[:] = iteration
+        if idca.max_candidate_depth is not None:
+            np.minimum(candidate_depths, idca.max_candidate_depth, out=candidate_depths)
+
+        target_regions, target_masses = self._target_tree.partitions_arrays(target_depth)
+        reference_regions, reference_masses = self._reference_tree.partitions_arrays(
+            reference_depth
+        )
+        candidate_parts = [
+            tree.partitions_arrays(int(depth))
+            for tree, depth in zip(self._influence_trees, candidate_depths)
+        ]
+        max_candidate_partitions = max(parts[0].shape[0] for parts in candidate_parts)
+
+        # positional memo keys: cached partition arrays are deterministic per
+        # (tree, depth), so pairs are identified without hashing coordinates.
+        # Tree tokens are process-unique (never reused after eviction or GC)
+        # and change with the axis policy, so a shared pair-bounds cache can
+        # never serve bounds computed from a different partitioning.
+        memoise = idca._pair_bounds is not None
+        if memoise:
+            candidate_keys = [
+                (tree.token, int(depth))
+                for tree, depth in zip(self._influence_trees, candidate_depths)
             ]
-            max_candidate_partitions = max(
-                parts[0].shape[0] for parts in candidate_parts
-            )
+            target_key = (self._target_tree.token, target_depth)
+            reference_key = (self._reference_tree.token, reference_depth)
+            config_key = (idca.p, idca.criterion)
 
-            pair_results: list[tuple[float, DominationCountBounds]] = []
-            widths = np.zeros(num_candidates)
-            for b_idx in range(target_regions.shape[0]):
-                for r_idx in range(reference_regions.shape[0]):
-                    weight = float(target_masses[b_idx] * reference_masses[r_idx])
-                    if weight <= 0.0:
-                        continue
-                    lower = np.empty(num_candidates)
-                    upper = np.empty(num_candidates)
-                    for c_idx, (regions, masses) in enumerate(candidate_parts):
-                        lower[c_idx], upper[c_idx] = pdom_bounds_from_partitions(
-                            regions,
-                            masses,
-                            target_regions[b_idx],
-                            reference_regions[r_idx],
-                            p=self.p,
-                            criterion=self.criterion,
-                        )
-                    widths += weight * (upper - lower)
-                    pair_results.append(
+        num_candidates = len(self._influence_trees)
+        pair_results: list[tuple[float, DominationCountBounds]] = []
+        widths = np.zeros(num_candidates)
+        for b_idx in range(target_regions.shape[0]):
+            for r_idx in range(reference_regions.shape[0]):
+                weight = float(target_masses[b_idx] * reference_masses[r_idx])
+                if weight <= 0.0:
+                    continue
+                lower = np.empty(num_candidates)
+                upper = np.empty(num_candidates)
+                for c_idx, (regions, masses) in enumerate(candidate_parts):
+                    key = (
                         (
-                            weight,
-                            domination_count_bounds(
-                                lower,
-                                upper,
-                                complete_count=complete_count,
-                                total_objects=total_objects,
-                                k_cap=self.k_cap,
-                            ),
+                            candidate_keys[c_idx],
+                            target_key,
+                            b_idx,
+                            reference_key,
+                            r_idx,
+                            config_key,
                         )
+                        if memoise
+                        else None
                     )
-            previous_widths = widths
-
-            bounds = combine_weighted_bounds(pair_results, k_cap=self.k_cap)
-            result.bounds = bounds
-            result.iterations.append(
-                IterationStats(
-                    iteration=iteration,
-                    uncertainty=bounds.uncertainty(),
-                    elapsed_seconds=time.perf_counter() - iter_start,
-                    num_pairs=len(pair_results),
-                    candidate_partitions=max_candidate_partitions,
+                    lower[c_idx], upper[c_idx] = idca._pair_bounds_for(
+                        key,
+                        regions,
+                        masses,
+                        target_regions[b_idx],
+                        reference_regions[r_idx],
+                    )
+                widths += weight * (upper - lower)
+                pair_results.append(
+                    (
+                        weight,
+                        domination_count_bounds(
+                            lower,
+                            upper,
+                            complete_count=self._complete_count,
+                            total_objects=self._total_objects,
+                            k_cap=idca.k_cap,
+                        ),
+                    )
                 )
+        self._previous_widths = widths
+
+        bounds = combine_weighted_bounds(pair_results, k_cap=idca.k_cap)
+        self.result.bounds = bounds
+        self.result.iterations.append(
+            IterationStats(
+                iteration=iteration,
+                uncertainty=bounds.uncertainty(),
+                elapsed_seconds=time.perf_counter() - iter_start,
+                num_pairs=len(pair_results),
+                candidate_partitions=max_candidate_partitions,
             )
+        )
+        self._iteration = iteration
 
-            if decision_stop is not None and decision_stop.should_stop(bounds, iteration):
-                break
-            if bounds.is_exact():
-                break
+        if self.stop is not None and self.stop.should_stop(bounds, iteration):
+            self._finished = True
+        elif bounds.is_exact():
+            self._finished = True
+        elif iteration >= self.max_iterations:
+            self._finished = True
+        self.result.decision = getattr(self.stop, "decision", None)
+        return True
 
-        result.decision = getattr(decision_stop, "decision", None)
-        return result
+    def run(self) -> IDCAResult:
+        """Drain the run: step until finished, then return the result."""
+        while self.step():
+            pass
+        return self.result

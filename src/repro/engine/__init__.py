@@ -1,0 +1,49 @@
+"""Unified probabilistic filter–refinement query engine.
+
+The engine layers (see ``docs/architecture.md``):
+
+candidate source → shared refinement context → refinement scheduler →
+result assembly.  :class:`QueryEngine` wires them together; the public
+functions in :mod:`repro.queries` are thin adapters over it, and
+:meth:`QueryEngine.evaluate_many` exposes batch evaluation with shared
+caches across a whole workload.
+"""
+
+from .candidates import (
+    CandidateSource,
+    RangeClassification,
+    RTreeCandidateSource,
+    ScanCandidateSource,
+    make_candidate_source,
+)
+from .context import CacheStats, RefinementContext
+from .engine import QueryEngine
+from .requests import (
+    DominationCountQuery,
+    InverseRankingQuery,
+    KNNQuery,
+    QueryRequest,
+    RangeQuery,
+    RankingQuery,
+    RKNNQuery,
+)
+from .scheduler import RefinementScheduler
+
+__all__ = [
+    "CacheStats",
+    "CandidateSource",
+    "DominationCountQuery",
+    "InverseRankingQuery",
+    "KNNQuery",
+    "QueryEngine",
+    "QueryRequest",
+    "RangeClassification",
+    "RangeQuery",
+    "RankingQuery",
+    "RefinementContext",
+    "RefinementScheduler",
+    "RKNNQuery",
+    "RTreeCandidateSource",
+    "ScanCandidateSource",
+    "make_candidate_source",
+]

@@ -1,0 +1,143 @@
+"""Shared refinement state reused across candidates and across queries.
+
+A single query evaluates many candidates against the same query object; a
+batch evaluates many queries against the same database.  Most of the work
+IDCA performs per candidate is positionally identical across those runs:
+
+* the decomposition kd-trees of the query object and of the database objects
+  (influence objects recur between candidates and between queries), and
+* the per-partition-pair domination bounds, which are deterministic functions
+  of (candidate partitions, target region, reference region).
+
+:class:`RefinementContext` owns both memos and hands out IDCA instances wired
+to them, so every run launched through the same context — including every
+query of a batch — amortises the decomposition and bound computations.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from ..core import IDCA
+from ..core.idca import _TREE_CACHE_MAX
+from ..geometry import DominationCriterion
+from ..uncertain import DecompositionTree, UncertainDatabase, UncertainObject
+from ..uncertain.decomposition import AxisPolicy
+
+__all__ = ["CacheStats", "RefinementContext"]
+
+
+class CacheStats(dict):
+    """A dict that counts lookup hits and misses (for benchmark reporting)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key, default=None):
+        value = super().get(key, default)
+        if value is default:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return value
+
+
+class RefinementContext:
+    """Decomposition and domination-bound memos shared between IDCA runs.
+
+    Parameters
+    ----------
+    database:
+        The uncertain database all runs operate on.  A context must never be
+        shared between engines over different databases — the caches key
+        influence objects by their database position.
+    axis_policy:
+        Split-axis policy used for every decomposition tree the context
+        creates (and for the IDCA instances it hands out), so cached trees
+        are valid for every consumer.
+    """
+
+    def __init__(
+        self,
+        database: UncertainDatabase,
+        axis_policy: AxisPolicy = "round_robin",
+    ):
+        self.database = database
+        self.axis_policy: AxisPolicy = axis_policy
+        self.tree_cache: dict[int, DecompositionTree] = {}
+        self.pair_bounds_cache = CacheStats()
+        self._idca_instances: dict[tuple, IDCA] = {}
+
+    # ------------------------------------------------------------------ #
+    # shared resources
+    # ------------------------------------------------------------------ #
+    def tree_for(self, obj: UncertainObject) -> DecompositionTree:
+        """Decomposition tree of ``obj``, cached by object identity.
+
+        Bounded like the IDCA-side cache: a context serving a long stream of
+        transient query objects must not grow without limit.  Evicted trees
+        are simply rebuilt on next use; memoised pair bounds stay safe
+        because they key trees by process-unique token, not ``id()``.
+        """
+        key = id(obj)
+        tree = self.tree_cache.get(key)
+        if tree is None:
+            if len(self.tree_cache) >= _TREE_CACHE_MAX:
+                stale = list(itertools.islice(iter(self.tree_cache), _TREE_CACHE_MAX // 10))
+                for old in stale:
+                    del self.tree_cache[old]
+            tree = DecompositionTree(obj, axis_policy=self.axis_policy)
+            self.tree_cache[key] = tree
+        return tree
+
+    def idca_for(
+        self,
+        p: float = 2.0,
+        criterion: DominationCriterion = "optimal",
+        k_cap: Optional[int] = None,
+        **idca_kwargs,
+    ) -> IDCA:
+        """An IDCA instance wired to the shared caches, memoised by parameters.
+
+        Instances only differ in scalar configuration; the expensive state
+        (trees, pair bounds) lives in the context, so handing the same
+        instance to every query of a batch is both safe and what makes the
+        batch fast.
+        """
+        key = (p, criterion, k_cap, tuple(sorted(idca_kwargs.items())))
+        idca = self._idca_instances.get(key)
+        if idca is None:
+            idca = IDCA(
+                self.database,
+                p=p,
+                criterion=criterion,
+                axis_policy=self.axis_policy,
+                k_cap=k_cap,
+                tree_cache=self.tree_cache,
+                pair_bounds_cache=self.pair_bounds_cache,
+                **idca_kwargs,
+            )
+            self._idca_instances[key] = idca
+        return idca
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict:
+        """Cache occupancy and hit counters (used by the batch benchmark)."""
+        return {
+            "trees": len(self.tree_cache),
+            "pair_bounds": len(self.pair_bounds_cache),
+            "pair_bounds_hits": self.pair_bounds_cache.hits,
+            "pair_bounds_misses": self.pair_bounds_cache.misses,
+        }
+
+    def clear(self) -> None:
+        """Drop all cached state (keeps the handed-out IDCA instances valid)."""
+        self.tree_cache.clear()
+        self.pair_bounds_cache.clear()
+        self.pair_bounds_cache.hits = 0
+        self.pair_bounds_cache.misses = 0

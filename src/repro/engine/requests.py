@@ -1,0 +1,169 @@
+"""Declarative query specifications for the engine's batch API.
+
+Each request dataclass mirrors the keyword surface of the corresponding
+:class:`~repro.engine.engine.QueryEngine` method; ``evaluate_many`` executes a
+heterogeneous sequence of them against one shared refinement context.  The
+requests are plain data so workloads can be built up front (or generated) and
+shipped to the engine in one call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence, Union
+
+from ..core import StopCriterion
+from ..queries.common import ObjectSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .engine import QueryEngine
+
+__all__ = [
+    "KNNQuery",
+    "RKNNQuery",
+    "RangeQuery",
+    "RankingQuery",
+    "InverseRankingQuery",
+    "DominationCountQuery",
+    "QueryRequest",
+]
+
+
+@dataclass
+class KNNQuery:
+    """Probabilistic threshold kNN request (Corollary 4)."""
+
+    query: ObjectSpec
+    k: int
+    tau: float
+    max_iterations: int = 10
+    strict: bool = False
+
+    def run(self, engine: "QueryEngine"):
+        return engine.knn(
+            self.query,
+            k=self.k,
+            tau=self.tau,
+            max_iterations=self.max_iterations,
+            strict=self.strict,
+        )
+
+
+@dataclass
+class RKNNQuery:
+    """Probabilistic threshold reverse-kNN request (Corollary 5)."""
+
+    query: ObjectSpec
+    k: int
+    tau: float
+    max_iterations: int = 10
+    candidate_indices: Optional[Iterable[int]] = None
+    strict: bool = False
+
+    def run(self, engine: "QueryEngine"):
+        return engine.rknn(
+            self.query,
+            k=self.k,
+            tau=self.tau,
+            max_iterations=self.max_iterations,
+            candidate_indices=self.candidate_indices,
+            strict=self.strict,
+        )
+
+
+@dataclass
+class RangeQuery:
+    """Probabilistic threshold epsilon-range request."""
+
+    query: ObjectSpec
+    epsilon: float
+    tau: float
+    max_depth: int = 6
+    strict: bool = False
+
+    def run(self, engine: "QueryEngine"):
+        return engine.range(
+            self.query,
+            epsilon=self.epsilon,
+            tau=self.tau,
+            max_depth=self.max_depth,
+            strict=self.strict,
+        )
+
+
+@dataclass
+class RankingQuery:
+    """Expected-rank similarity ranking request (Corollary 6)."""
+
+    query: ObjectSpec
+    max_iterations: int = 6
+    uncertainty_budget: float = 0.25
+    candidate_indices: Optional[Iterable[int]] = None
+
+    def run(self, engine: "QueryEngine"):
+        return engine.ranking(
+            self.query,
+            max_iterations=self.max_iterations,
+            uncertainty_budget=self.uncertainty_budget,
+            candidate_indices=self.candidate_indices,
+        )
+
+
+@dataclass
+class InverseRankingQuery:
+    """Rank-distribution (inverse ranking) request (Corollary 3)."""
+
+    target: ObjectSpec
+    reference: ObjectSpec
+    max_iterations: int = 10
+    uncertainty_budget: Optional[float] = None
+    stop: Optional[StopCriterion] = None
+    exclude_indices: Optional[Sequence[int]] = None
+
+    def run(self, engine: "QueryEngine"):
+        return engine.inverse_ranking(
+            self.target,
+            self.reference,
+            max_iterations=self.max_iterations,
+            uncertainty_budget=self.uncertainty_budget,
+            stop=self.stop,
+            exclude_indices=self.exclude_indices,
+        )
+
+
+@dataclass
+class DominationCountQuery:
+    """Raw IDCA domination-count request (Algorithm 1).
+
+    The experiment workloads of Section VII are batches of these; routing
+    them through the engine lets a whole workload share one refinement
+    context.  ``stop`` criteria are stateful, so every request must carry its
+    own instance.
+    """
+
+    target: ObjectSpec
+    reference: ObjectSpec
+    stop: Optional[StopCriterion] = None
+    max_iterations: int = 10
+    exclude_indices: Optional[Sequence[int]] = None
+    k_cap: Optional[int] = field(default=None)
+
+    def run(self, engine: "QueryEngine"):
+        return engine.domination_count(
+            self.target,
+            self.reference,
+            stop=self.stop,
+            max_iterations=self.max_iterations,
+            exclude_indices=self.exclude_indices,
+            k_cap=self.k_cap,
+        )
+
+
+QueryRequest = Union[
+    KNNQuery,
+    RKNNQuery,
+    RangeQuery,
+    RankingQuery,
+    InverseRankingQuery,
+    DominationCountQuery,
+]

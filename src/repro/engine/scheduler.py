@@ -1,0 +1,85 @@
+"""Global refinement scheduling across the candidates of a query.
+
+The seed implementation refined candidates in arrival order, exhausting each
+candidate's iteration budget before touching the next.  The paper's guiding
+principle (Sections IV-E/V) is the opposite: refinement effort should go
+where it still decides predicates.  :class:`RefinementScheduler` therefore
+drives the incremental :class:`~repro.core.idca.IDCARun` objects of all
+still-undecided candidates from a priority queue keyed by their current
+bound uncertainty — the candidate whose predicate bounds are widest receives
+the next iteration.
+
+Because every candidate's refinement is independent, the schedule changes
+only *when* work happens, never its outcome: without a global budget the
+per-candidate results are identical to arrival-order evaluation.  With
+``global_iteration_budget`` set, the scheduler degrades gracefully — the
+budget is spent on the most uncertain candidates first, which is exactly the
+behaviour the paper's iterative scheme is after.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Optional, Sequence
+
+from ..core import IDCARun
+
+__all__ = ["RefinementScheduler"]
+
+PriorityFn = Callable[[IDCARun], float]
+
+
+class RefinementScheduler:
+    """Uncertainty-prioritised round-robin over incremental IDCA runs.
+
+    Parameters
+    ----------
+    global_iteration_budget:
+        Optional cap on the *total* number of refinement iterations spent
+        across all runs of one :meth:`refine` call.  ``None`` (the default)
+        lets every run exhaust its own per-candidate budget, which keeps
+        results identical to independent evaluation.
+    """
+
+    def __init__(self, global_iteration_budget: Optional[int] = None):
+        if global_iteration_budget is not None and global_iteration_budget < 0:
+            raise ValueError("global_iteration_budget must be non-negative")
+        self.global_iteration_budget = global_iteration_budget
+
+    def refine(
+        self,
+        runs: Sequence[IDCARun],
+        priority: PriorityFn,
+        on_finished: Optional[Callable[[IDCARun], None]] = None,
+    ) -> int:
+        """Drive ``runs`` to completion in priority order; returns total steps.
+
+        ``priority`` maps a run to a non-negative urgency (larger = refined
+        first) and is re-evaluated after every step, so a candidate whose
+        bounds tighten quickly falls down the queue while stubborn candidates
+        keep receiving iterations until they decide or exhaust their budget.
+        ``on_finished`` is invoked each time a stepped run finishes — callers
+        use it to record the order in which evaluations concluded.
+        """
+        counter = itertools.count()
+        heap: list[tuple[float, int, IDCARun]] = []
+        for run in runs:
+            if not run.finished:
+                heapq.heappush(heap, (-priority(run), next(counter), run))
+        steps = 0
+        budget = self.global_iteration_budget
+        while heap:
+            if budget is not None and steps >= budget:
+                break
+            _, _, run = heapq.heappop(heap)
+            if run.finished:
+                continue
+            run.step()
+            steps += 1
+            if run.finished:
+                if on_finished is not None:
+                    on_finished(run)
+            else:
+                heapq.heappush(heap, (-priority(run), next(counter), run))
+        return steps

@@ -1,6 +1,6 @@
 """Experiment harness and per-figure reproductions of the paper's evaluation."""
 
-from .harness import ExperimentTable
+from .harness import ExperimentTable, run_query_batch
 from .figures import (
     ablation_ugf_truncation,
     ablation_ugf_vs_regular_gf,
@@ -21,6 +21,7 @@ from .ablations import (
 
 __all__ = [
     "ExperimentTable",
+    "run_query_batch",
     "ablation_ugf_truncation",
     "ablation_ugf_vs_regular_gf",
     "ablation_adaptive_refinement",

@@ -28,6 +28,7 @@ from ..datasets import (
     iip_iceberg_database,
     uniform_rectangle_database,
 )
+from ..engine import DominationCountQuery, QueryEngine
 from ..uncertain import UncertainDatabase, discretise_database
 from .harness import ExperimentTable
 
@@ -159,15 +160,20 @@ def figure6b_uncertainty_per_iteration(
     )
     per_iteration: dict[str, np.ndarray] = {}
     for criterion in ("optimal", "minmax"):
-        idca = IDCA(database, criterion=criterion)
+        engine = QueryEngine(database, criterion=criterion)
+        runs = engine.evaluate_many(
+            [
+                DominationCountQuery(
+                    pair.target_index,
+                    pair.reference,
+                    stop=MaxIterations(iterations),
+                    max_iterations=iterations,
+                )
+                for pair in workload
+            ]
+        )
         totals = np.zeros(iterations + 1)
-        for pair in workload:
-            run = idca.domination_count(
-                pair.target_index,
-                pair.reference,
-                stop=MaxIterations(iterations),
-                max_iterations=iterations,
-            )
+        for run in runs:
             history = [stat.uncertainty for stat in run.iterations]
             # pad with the final value when IDCA converged early
             while len(history) < iterations + 1:
@@ -227,19 +233,24 @@ def figure7_uncertainty_vs_runtime(
         rng = np.random.default_rng(seed)
         discrete = discretise_database(base, samples, rng)
         mc = MonteCarloDominationCount(discrete, samples_per_object=samples, seed=seed)
-        idca = IDCA(discrete)
+        engine = QueryEngine(discrete)
         mc_time = 0.0
         idca_time = np.zeros(iterations + 1)
         uncertainty = np.zeros(iterations + 1)
-        for pair in workload:
+        runs = engine.evaluate_many(
+            [
+                DominationCountQuery(
+                    pair.target_index,
+                    pair.reference,
+                    stop=MaxIterations(iterations),
+                    max_iterations=iterations,
+                )
+                for pair in workload
+            ]
+        )
+        for pair, run in zip(workload, runs):
             mc_result = mc.domination_count_pmf(pair.target_index, pair.reference)
             mc_time += mc_result.elapsed_seconds
-            run = idca.domination_count(
-                pair.target_index,
-                pair.reference,
-                stop=MaxIterations(iterations),
-                max_iterations=iterations,
-            )
             history_unc = [stat.uncertainty for stat in run.iterations]
             history_time = np.cumsum([stat.elapsed_seconds for stat in run.iterations])
             influence = max(1, run.num_influence)
@@ -302,15 +313,25 @@ def figure8_predicate_queries(
         mc_times[k] = elapsed / len(workload)
     for k in k_values:
         for tau in taus:
-            idca = IDCA(discrete, k_cap=k)
+            # fresh engine per (k, tau) configuration: each config's runtime
+            # must be measured against cold caches (as the seed measured a
+            # fresh IDCA) or the k/tau trend would reflect cache warmth, not
+            # the algorithm.  Within a config the workload still runs as one
+            # shared-context batch.
+            engine = QueryEngine(discrete)
             start = time.perf_counter()
-            for pair in workload:
-                idca.domination_count(
-                    pair.target_index,
-                    pair.reference,
-                    stop=ThresholdDecision(k=k, tau=tau),
-                    max_iterations=max_iterations,
-                )
+            engine.evaluate_many(
+                [
+                    DominationCountQuery(
+                        pair.target_index,
+                        pair.reference,
+                        stop=ThresholdDecision(k=k, tau=tau),
+                        max_iterations=max_iterations,
+                        k_cap=k,
+                    )
+                    for pair in workload
+                ]
+            )
             elapsed = (time.perf_counter() - start) / len(workload)
             table.add_row(k=k, tau=tau, idca_seconds=elapsed, mc_seconds=mc_times[k])
     return table

@@ -5,15 +5,20 @@ function in :mod:`repro.experiments.figures`.  Those functions return
 :class:`ExperimentTable` instances — plain tabular data (one row per plotted
 point) that the benchmark suite executes, that ``EXPERIMENTS.md`` documents
 and that users can export to CSV for plotting.
+
+:func:`run_query_batch` is the harness-level entry point into the engine's
+batch API: it evaluates a request workload against one shared refinement
+context and summarises the per-query outcomes as an :class:`ExperimentTable`.
 """
 
 from __future__ import annotations
 
 import csv
+import time
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence
 
-__all__ = ["ExperimentTable"]
+__all__ = ["ExperimentTable", "run_query_batch"]
 
 
 @dataclass
@@ -87,3 +92,54 @@ class ExperimentTable:
             writer.writeheader()
             for row in self.rows:
                 writer.writerow(row)
+
+
+def run_query_batch(
+    engine,
+    requests: Sequence,
+    name: str = "query_batch",
+    description: str = "per-query outcomes of one engine batch",
+) -> tuple[ExperimentTable, list]:
+    """Evaluate ``requests`` through ``engine.evaluate_many`` and tabulate.
+
+    Returns the summary table together with the raw results (in request
+    order).  Threshold-style results contribute their match statistics; other
+    result types only report their runtime.  The engine's shared refinement
+    context makes the batch cheaper than issuing the queries independently —
+    the table's ``seconds`` column is per-query wall-clock inside the batch.
+    """
+    table = ExperimentTable(
+        name=name,
+        description=description,
+        columns=(
+            "query",
+            "kind",
+            "matches",
+            "undecided",
+            "rejected",
+            "pruned",
+            "seconds",
+        ),
+    )
+    results = []
+    for position, request in enumerate(requests):
+        start = time.perf_counter()
+        result = request.run(engine)
+        elapsed = time.perf_counter() - start
+        results.append(result)
+        matches = undecided = rejected = pruned = None
+        if hasattr(result, "matches"):
+            matches = len(result.matches)
+            undecided = len(result.undecided)
+            rejected = len(result.rejected)
+            pruned = result.pruned
+        table.add_row(
+            query=position,
+            kind=type(request).__name__,
+            matches=matches,
+            undecided=undecided,
+            rejected=rejected,
+            pruned=pruned,
+            seconds=elapsed,
+        )
+    return table, results

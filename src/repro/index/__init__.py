@@ -1,12 +1,17 @@
 """Index substrate: R-tree and vectorised linear-scan candidate generation."""
 
+from .exclude import ExcludeSpec, exclude_mask, exclude_set, normalize_exclude
 from .rtree import RTree, RTreeNode
 from .scan import knn_candidates, min_dist_order, range_candidates
 
 __all__ = [
+    "ExcludeSpec",
     "RTree",
     "RTreeNode",
+    "exclude_mask",
+    "exclude_set",
     "knn_candidates",
     "min_dist_order",
+    "normalize_exclude",
     "range_candidates",
 ]

@@ -1,0 +1,63 @@
+"""Normalisation of candidate-exclusion specifications.
+
+Historically the two candidate generators disagreed on how excluded database
+positions are passed in: the vectorised scan wanted a boolean mask while the
+R-tree wanted a set of ints.  Both now accept either form (or any iterable of
+positions, or ``None``); :func:`normalize_exclude` is the single conversion
+point and is re-exported from :mod:`repro.index`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Union
+
+import numpy as np
+
+__all__ = ["ExcludeSpec", "normalize_exclude", "exclude_mask", "exclude_set"]
+
+ExcludeSpec = Optional[Union[np.ndarray, set, frozenset, Iterable[int]]]
+
+
+def normalize_exclude(exclude: ExcludeSpec, num_objects: int) -> tuple[np.ndarray, set[int]]:
+    """Normalise an exclusion specification into ``(mask, indices)``.
+
+    Parameters
+    ----------
+    exclude:
+        ``None`` (nothing excluded), a boolean mask of length ``num_objects``,
+        or any iterable of database positions.  Out-of-range positions are
+        ignored, matching the tolerant behaviour of the filter step.
+    num_objects:
+        Database size the mask is sized for.
+
+    Returns
+    -------
+    (mask, indices):
+        A boolean mask of length ``num_objects`` (True = excluded) and the
+        equivalent set of in-range positions.
+    """
+    mask = np.zeros(num_objects, dtype=bool)
+    if exclude is None:
+        return mask, set()
+    if isinstance(exclude, np.ndarray) and exclude.dtype == bool:
+        if exclude.shape != (num_objects,):
+            raise ValueError(
+                f"exclude mask has shape {exclude.shape}, expected ({num_objects},)"
+            )
+        mask |= exclude
+        return mask, {int(i) for i in np.flatnonzero(exclude)}
+    indices = {int(i) for i in exclude}
+    in_range = {i for i in indices if 0 <= i < num_objects}
+    for i in in_range:
+        mask[i] = True
+    return mask, in_range
+
+
+def exclude_mask(exclude: ExcludeSpec, num_objects: int) -> np.ndarray:
+    """Boolean exclusion mask of length ``num_objects`` (True = excluded)."""
+    return normalize_exclude(exclude, num_objects)[0]
+
+
+def exclude_set(exclude: ExcludeSpec, num_objects: int) -> set[int]:
+    """Set of excluded in-range database positions."""
+    return normalize_exclude(exclude, num_objects)[1]

@@ -12,11 +12,12 @@ import heapq
 import itertools
 import math
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from typing import Iterable
 
 import numpy as np
 
 from ..geometry import Rectangle, max_dist_arrays, min_dist_arrays
+from .exclude import ExcludeSpec, exclude_set
 
 __all__ = ["RTreeNode", "RTree"]
 
@@ -166,17 +167,19 @@ class RTree:
         query: Rectangle,
         k: int,
         p: float = 2.0,
-        exclude: Optional[set[int]] = None,
+        exclude: ExcludeSpec = None,
     ) -> np.ndarray:
         """Conservative kNN candidates via best-first MinDist traversal.
 
         Returns every object whose MinDist to the query does not exceed the
         ``k``-th smallest MaxDist seen — objects outside this set are always
-        farther than at least ``k`` objects and can be pruned.
+        farther than at least ``k`` objects and can be pruned.  ``exclude``
+        accepts the same specifications as the linear scan (boolean mask or
+        iterable of positions, see :func:`repro.index.normalize_exclude`).
         """
         if k <= 0:
             raise ValueError("k must be positive")
-        exclude = exclude or set()
+        exclude = exclude_set(exclude, self.mbrs.shape[0])
         query_arr = query.to_array()
         counter = itertools.count()
 

@@ -15,6 +15,7 @@ from ..geometry import (
     max_dist_arrays,
     min_dist_arrays,
 )
+from .exclude import ExcludeSpec, exclude_mask
 
 __all__ = [
     "min_dist_order",
@@ -34,7 +35,7 @@ def knn_candidates(
     query: Rectangle,
     k: int,
     p: float = 2.0,
-    exclude: np.ndarray | None = None,
+    exclude: ExcludeSpec = None,
 ) -> np.ndarray:
     """Conservative kNN candidate set based on MinDist / MaxDist.
 
@@ -52,8 +53,10 @@ def knn_candidates(
     k:
         Number of nearest neighbours of the query predicate.
     exclude:
-        Optional boolean mask of length ``n``; masked objects are neither
-        returned nor used for the pruning distance (e.g. the query itself).
+        Optional exclusion specification — a boolean mask of length ``n`` or
+        any iterable of positions (see :func:`repro.index.normalize_exclude`);
+        excluded objects are neither returned nor used for the pruning
+        distance (e.g. the query itself).
 
     Returns
     -------
@@ -65,9 +68,7 @@ def knn_candidates(
     query_arr = query.to_array()
     min_dists = min_dist_arrays(mbrs, query_arr, p)
     max_dists = max_dist_arrays(mbrs, query_arr, p)
-    valid = np.ones(mbrs.shape[0], dtype=bool)
-    if exclude is not None:
-        valid &= ~exclude
+    valid = ~exclude_mask(exclude, mbrs.shape[0])
     valid_max = np.sort(max_dists[valid])
     if valid_max.shape[0] <= k:
         return np.flatnonzero(valid)

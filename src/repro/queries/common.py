@@ -48,6 +48,10 @@ class ProbabilisticMatch:
         interval the paper suggests returning to the user.
     iterations:
         Number of refinement iterations IDCA spent on this object.
+    sequence:
+        Position of this object in the query's evaluation order (the order in
+        which the engine concluded each candidate's evaluation).  ``-1`` for
+        matches constructed outside a query run.
     """
 
     index: int
@@ -55,6 +59,7 @@ class ProbabilisticMatch:
     probability_upper: float
     decision: Optional[bool]
     iterations: int
+    sequence: int = -1
 
     @property
     def probability_midpoint(self) -> float:
@@ -101,5 +106,15 @@ class ThresholdQueryResult:
         return len(self.matches) + len(self.undecided) + len(self.rejected)
 
     def all_evaluated(self) -> list[ProbabilisticMatch]:
-        """Every probabilistically evaluated object, in evaluation order."""
-        return [*self.matches, *self.undecided, *self.rejected]
+        """Every probabilistically evaluated object, in evaluation order.
+
+        Matches carry the sequence number the engine assigned when their
+        evaluation concluded; sorting on it restores the true evaluation
+        order.  When any match lacks a sequence number (hand-constructed
+        results), ordering by sequence would be meaningless, so the plain
+        bucket concatenation is returned instead.
+        """
+        combined = [*self.matches, *self.undecided, *self.rejected]
+        if any(match.sequence < 0 for match in combined):
+            return combined
+        return sorted(combined, key=lambda match: match.sequence)

@@ -18,10 +18,10 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from ..core import IDCA, IDCAResult, StopCriterion, UncertaintyBelow
+from ..core import IDCA, IDCAResult, StopCriterion
 from ..geometry import DominationCriterion
 from ..uncertain import UncertainDatabase
-from .common import ObjectSpec, resolve_object
+from .common import ObjectSpec
 
 __all__ = ["RankDistribution", "probabilistic_inverse_ranking"]
 
@@ -90,24 +90,15 @@ def probabilistic_inverse_ranking(
     stop:
         Explicit stop criterion (overrides ``uncertainty_budget``).
     """
-    exclude: set[int] = set(int(i) for i in exclude_indices) if exclude_indices else set()
-    target_obj = resolve_object(database, target, exclude)
-    reference_obj = resolve_object(database, reference, exclude)
+    from ..engine import QueryEngine
 
-    if idca is None:
-        idca = IDCA(database, p=p, criterion=criterion)
-    if stop is None and uncertainty_budget is not None:
-        stop = UncertaintyBelow(uncertainty_budget)
-
-    run = idca.domination_count(
-        target_obj,
-        reference_obj,
-        stop=stop,
+    engine = QueryEngine(database, p=p, criterion=criterion)
+    return engine.inverse_ranking(
+        target,
+        reference,
         max_iterations=max_iterations,
-        exclude_indices=sorted(exclude),
-    )
-    return RankDistribution(
-        lower=run.bounds.lower.copy(),
-        upper=run.bounds.upper.copy(),
-        idca_result=run,
+        uncertainty_budget=uncertainty_budget,
+        stop=stop,
+        idca=idca,
+        exclude_indices=exclude_indices,
     )

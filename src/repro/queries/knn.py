@@ -7,28 +7,22 @@ least ``tau``::
     P^kNN(B, Q) = sum_{i < k} P(DomCount(B, Q) = i) >= tau
 
 Both the query object and the database objects may be uncertain — the setting
-no prior work supported.  The evaluation combines
-
-1. a spatial candidate filter (MinDist/MaxDist over the object MBRs, either a
-   vectorised scan or an R-tree traversal),
-2. per-candidate IDCA runs with the ``k``-truncated uncertain generating
-   function and a threshold stop criterion, so refinement stops as soon as the
-   predicate is decidable.
+no prior work supported.  This module is a thin adapter over the unified
+:class:`~repro.engine.QueryEngine`, which performs the spatial candidate
+filter, runs the ``k``-truncated IDCA refinement with a threshold stop
+criterion, and spends iterations on the candidates whose predicate bounds are
+still widest.
 """
 
 from __future__ import annotations
 
-import time
 from typing import Optional
 
-import numpy as np
-
-from ..core import IDCA, ThresholdDecision
+from ..core import IDCA
 from ..geometry import DominationCriterion
 from ..index import RTree
-from ..index.scan import knn_candidates
 from ..uncertain import UncertainDatabase
-from .common import ObjectSpec, ProbabilisticMatch, ThresholdQueryResult, resolve_object
+from .common import ObjectSpec, ThresholdQueryResult
 
 __all__ = ["probabilistic_knn_threshold"]
 
@@ -73,54 +67,14 @@ def probabilistic_knn_threshold(
     -------
     ThresholdQueryResult
     """
-    if k <= 0:
-        raise ValueError("k must be positive")
-    if not 0.0 <= tau <= 1.0:
-        raise ValueError("tau must be a probability")
+    from ..engine import QueryEngine
 
-    start = time.perf_counter()
-    exclude: set[int] = set()
-    query_obj = resolve_object(database, query, exclude)
-
-    if idca is None:
-        idca = IDCA(database, p=p, criterion=criterion, k_cap=k)
-    elif idca.k_cap is not None and idca.k_cap < k:
-        raise ValueError("the supplied IDCA instance truncates below the requested k")
-
-    mbrs = database.mbrs()
-    if rtree is not None:
-        candidates = rtree.knn_candidates(query_obj.mbr, k, p=p, exclude=exclude)
-    else:
-        exclude_mask = np.zeros(len(database), dtype=bool)
-        for idx in exclude:
-            exclude_mask[idx] = True
-        candidates = knn_candidates(mbrs, query_obj.mbr, k, p=p, exclude=exclude_mask)
-
-    result = ThresholdQueryResult(
-        k=k, tau=tau, pruned=len(database) - len(exclude) - candidates.shape[0]
+    engine = QueryEngine(database, p=p, criterion=criterion, rtree=rtree)
+    return engine.knn(
+        query,
+        k=k,
+        tau=tau,
+        max_iterations=max_iterations,
+        idca=idca,
+        strict=strict,
     )
-    for index in candidates:
-        stop = ThresholdDecision(k=k, tau=tau, strict=strict)
-        run = idca.domination_count(
-            int(index),
-            query_obj,
-            stop=stop,
-            max_iterations=max_iterations,
-            exclude_indices=sorted(exclude),
-        )
-        lower, upper = run.bounds.less_than(k)
-        match = ProbabilisticMatch(
-            index=int(index),
-            probability_lower=lower,
-            probability_upper=upper,
-            decision=run.decision,
-            iterations=run.num_iterations,
-        )
-        if run.decision is True:
-            result.matches.append(match)
-        elif run.decision is False:
-            result.rejected.append(match)
-        else:
-            result.undecided.append(match)
-    result.elapsed_seconds = time.perf_counter() - start
-    return result

@@ -14,15 +14,12 @@ progressive probability bounds.
 
 from __future__ import annotations
 
-import time
 from typing import Optional
-
-import numpy as np
 
 from ..geometry import max_dist_arrays, min_dist_arrays
 from ..uncertain import DecompositionTree, UncertainDatabase
 from ..uncertain.decomposition import AxisPolicy
-from .common import ObjectSpec, ProbabilisticMatch, ThresholdQueryResult, resolve_object
+from .common import ObjectSpec, ThresholdQueryResult
 
 __all__ = ["probability_within_range", "probabilistic_range_query"]
 
@@ -80,59 +77,11 @@ def probabilistic_range_query(
 
     Objects whose MBR is completely within ``epsilon`` of the query MBR are
     reported without decomposition; objects completely out of reach are pruned
-    the same way.  Only the remaining candidates are refined.
+    the same way.  Only the remaining candidates are refined — the unified
+    :class:`~repro.engine.QueryEngine` performs the classification and
+    refinement with shared decomposition trees.
     """
-    if not 0.0 <= tau <= 1.0:
-        raise ValueError("tau must be a probability")
-    if epsilon < 0:
-        raise ValueError("epsilon must be non-negative")
+    from ..engine import QueryEngine
 
-    start = time.perf_counter()
-    exclude: set[int] = set()
-    query_obj = resolve_object(database, query, exclude)
-    query_arr = query_obj.mbr.to_array()
-    mbrs = database.mbrs()
-
-    min_d = min_dist_arrays(mbrs, query_arr, p)
-    max_d = max_dist_arrays(mbrs, query_arr, p)
-
-    result = ThresholdQueryResult(k=0, tau=tau)
-    query_tree = DecompositionTree(query_obj)
-    pruned = 0
-    for index in range(len(database)):
-        if index in exclude:
-            continue
-        if max_d[index] <= epsilon:
-            result.matches.append(
-                ProbabilisticMatch(index, 1.0, 1.0, decision=True, iterations=0)
-            )
-            continue
-        if min_d[index] > epsilon:
-            pruned += 1
-            continue
-        lower, upper = probability_within_range(
-            database[index],
-            query_obj,
-            epsilon,
-            p=p,
-            max_depth=max_depth,
-            query_tree=query_tree,
-        )
-        passes = lower > tau or (not strict and lower >= tau)
-        fails = upper < tau or (strict and upper <= tau)
-        match = ProbabilisticMatch(
-            index,
-            lower,
-            upper,
-            decision=True if passes else False if fails else None,
-            iterations=max_depth,
-        )
-        if passes:
-            result.matches.append(match)
-        elif fails:
-            result.rejected.append(match)
-        else:
-            result.undecided.append(match)
-    result.pruned = pruned
-    result.elapsed_seconds = time.perf_counter() - start
-    return result
+    engine = QueryEngine(database, p=p)
+    return engine.range(query, epsilon=epsilon, tau=tau, max_depth=max_depth, strict=strict)

@@ -9,14 +9,13 @@ so callers can detect ties that the bounds cannot yet separate.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
-from ..core import IDCA, UncertaintyBelow
+from ..core import IDCA
 from ..geometry import DominationCriterion
 from ..uncertain import UncertainDatabase
-from .common import ObjectSpec, resolve_object
+from .common import ObjectSpec
 
 __all__ = ["RankedObject", "RankingResult", "expected_rank_ranking"]
 
@@ -78,37 +77,13 @@ def expected_rank_ranking(
     candidate_indices:
         Optional subset of database positions to rank; defaults to all.
     """
-    start = time.perf_counter()
-    exclude: set[int] = set()
-    query_obj = resolve_object(database, query, exclude)
+    from ..engine import QueryEngine
 
-    if idca is None:
-        idca = IDCA(database, p=p, criterion=criterion)
-    if idca.k_cap is not None:
-        raise ValueError("expected-rank ranking requires an untruncated IDCA instance")
-
-    if candidate_indices is None:
-        candidates = [i for i in range(len(database)) if i not in exclude]
-    else:
-        candidates = [int(i) for i in candidate_indices if int(i) not in exclude]
-
-    entries: list[RankedObject] = []
-    for index in candidates:
-        run = idca.domination_count(
-            index,
-            query_obj,
-            stop=UncertaintyBelow(uncertainty_budget),
-            max_iterations=max_iterations,
-            exclude_indices=sorted(exclude),
-        )
-        count_lower, count_upper = run.bounds.expected_count_bounds()
-        entries.append(
-            RankedObject(
-                index=index,
-                expected_rank_lower=count_lower + 1.0,
-                expected_rank_upper=count_upper + 1.0,
-                iterations=run.num_iterations,
-            )
-        )
-    entries.sort(key=lambda entry: (entry.expected_rank_midpoint, entry.index))
-    return RankingResult(ranking=entries, elapsed_seconds=time.perf_counter() - start)
+    engine = QueryEngine(database, p=p, criterion=criterion)
+    return engine.ranking(
+        query,
+        max_iterations=max_iterations,
+        uncertainty_budget=uncertainty_budget,
+        idca=idca,
+        candidate_indices=candidate_indices,
+    )

@@ -8,18 +8,18 @@ database objects are closer to ``A`` than ``Q`` is::
 
 Note the swapped roles compared to the kNN query: the query object is the
 *target* of the domination count and the database object ``A`` is the
-*reference*.
+*reference*.  The evaluation is delegated to the unified
+:class:`~repro.engine.QueryEngine`.
 """
 
 from __future__ import annotations
 
-import time
 from typing import Iterable, Optional
 
-from ..core import IDCA, ThresholdDecision
+from ..core import IDCA
 from ..geometry import DominationCriterion
 from ..uncertain import UncertainDatabase
-from .common import ObjectSpec, ProbabilisticMatch, ThresholdQueryResult, resolve_object
+from .common import ObjectSpec, ThresholdQueryResult
 
 __all__ = ["probabilistic_rknn_threshold"]
 
@@ -51,53 +51,15 @@ def probabilistic_rknn_threshold(
         Optional subset of database positions to evaluate (e.g. produced by an
         application-specific filter); defaults to the full database.
     """
-    if k <= 0:
-        raise ValueError("k must be positive")
-    if not 0.0 <= tau <= 1.0:
-        raise ValueError("tau must be a probability")
+    from ..engine import QueryEngine
 
-    start = time.perf_counter()
-    exclude: set[int] = set()
-    query_obj = resolve_object(database, query, exclude)
-
-    if idca is None:
-        idca = IDCA(database, p=p, criterion=criterion, k_cap=k)
-    elif idca.k_cap is not None and idca.k_cap < k:
-        raise ValueError("the supplied IDCA instance truncates below the requested k")
-
-    if candidate_indices is None:
-        candidates = [i for i in range(len(database)) if i not in exclude]
-    else:
-        candidates = [int(i) for i in candidate_indices if int(i) not in exclude]
-
-    result = ThresholdQueryResult(
-        k=k, tau=tau, pruned=len(database) - len(exclude) - len(candidates)
+    engine = QueryEngine(database, p=p, criterion=criterion)
+    return engine.rknn(
+        query,
+        k=k,
+        tau=tau,
+        max_iterations=max_iterations,
+        idca=idca,
+        candidate_indices=candidate_indices,
+        strict=strict,
     )
-    for index in candidates:
-        stop = ThresholdDecision(k=k, tau=tau, strict=strict)
-        # the count is over objects other than the candidate itself and the query
-        run_exclude = set(exclude)
-        run_exclude.add(index)
-        run = idca.domination_count(
-            query_obj,
-            database[index],
-            stop=stop,
-            max_iterations=max_iterations,
-            exclude_indices=sorted(run_exclude),
-        )
-        lower, upper = run.bounds.less_than(k)
-        match = ProbabilisticMatch(
-            index=index,
-            probability_lower=lower,
-            probability_upper=upper,
-            decision=run.decision,
-            iterations=run.num_iterations,
-        )
-        if run.decision is True:
-            result.matches.append(match)
-        elif run.decision is False:
-            result.rejected.append(match)
-        else:
-            result.undecided.append(match)
-    result.elapsed_seconds = time.perf_counter() - start
-    return result

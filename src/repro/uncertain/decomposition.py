@@ -14,6 +14,7 @@ queries and benchmark runs reuse previously computed partitions.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import Iterator, Literal, Optional
 
@@ -27,6 +28,11 @@ __all__ = ["Partition", "DecompositionNode", "DecompositionTree", "decompose_obj
 AxisPolicy = Literal["round_robin", "widest"]
 
 _MASS_EPS = 1e-15
+
+# process-unique tree tokens; unlike id(), tokens are never reused after a
+# tree is garbage collected, so caches may key partition sets by
+# (tree token, depth) and still evict trees safely
+_TREE_TOKENS = itertools.count()
 
 
 @dataclass(frozen=True)
@@ -75,6 +81,8 @@ class DecompositionTree:
     max_depth: Optional[int] = None
     _root: DecompositionNode = field(init=False)
     _materialised_depth: int = field(init=False, default=0)
+    _arrays_cache: dict[int, tuple[np.ndarray, np.ndarray]] = field(init=False)
+    token: int = field(init=False)
 
     def __post_init__(self) -> None:
         self._root = DecompositionNode(
@@ -82,6 +90,8 @@ class DecompositionTree:
             probability=self.obj.existence_probability,
             depth=0,
         )
+        self._arrays_cache = {}
+        self.token = next(_TREE_TOKENS)
 
     # ------------------------------------------------------------------ #
     # construction
@@ -183,7 +193,17 @@ class DecompositionTree:
 
         ``regions`` has shape ``(k, d, 2)``, ``masses`` shape ``(k,)``; this is
         the representation consumed by the vectorised bound computations.
+        The arrays are cached per depth (the frontier at a depth never changes
+        once built) and must be treated as read-only — IDCA iterations, the
+        shared refinement context and repeated queries all reuse them.
         """
+        if depth < 0:
+            raise ValueError("depth must be non-negative")
+        if self.max_depth is not None:
+            depth = min(depth, self.max_depth)
+        cached = self._arrays_cache.get(depth)
+        if cached is not None:
+            return cached
         parts = self.partitions(depth)
         d = self.obj.dimensions
         regions = np.empty((len(parts), d, 2), dtype=float)
@@ -192,6 +212,7 @@ class DecompositionTree:
             regions[i, :, 0] = part.region.lows
             regions[i, :, 1] = part.region.highs
             masses[i] = part.probability
+        self._arrays_cache[depth] = (regions, masses)
         return regions, masses
 
     def num_partitions(self, depth: int) -> int:

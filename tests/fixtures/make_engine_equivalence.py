@@ -1,0 +1,107 @@
+"""Regenerate ``engine_equivalence.json`` from the current query implementations.
+
+The fixture was originally produced by running this script against the seed
+(pre-engine) query loops; the equivalence test replays the same scenarios
+through the unified engine and asserts identical outcomes.  Re-run only when a
+deliberate, understood behaviour change invalidates the snapshot::
+
+    PYTHONPATH=src python tests/fixtures/make_engine_equivalence.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.datasets import random_reference_object, uniform_rectangle_database
+from repro.queries import (
+    expected_rank_ranking,
+    probabilistic_inverse_ranking,
+    probabilistic_knn_threshold,
+    probabilistic_range_query,
+    probabilistic_rknn_threshold,
+)
+
+ROUND = 12
+
+
+def _matches(entries):
+    return [
+        {
+            "index": m.index,
+            "lower": round(m.probability_lower, ROUND),
+            "upper": round(m.probability_upper, ROUND),
+            "decision": m.decision,
+            "iterations": m.iterations,
+        }
+        for m in sorted(entries, key=lambda m: m.index)
+    ]
+
+
+def _threshold(result):
+    return {
+        "matches": _matches(result.matches),
+        "undecided": _matches(result.undecided),
+        "rejected": _matches(result.rejected),
+        "pruned": result.pruned,
+    }
+
+
+def build() -> dict:
+    database = uniform_rectangle_database(num_objects=60, max_extent=0.05, seed=3)
+    reference = random_reference_object(extent=0.05, seed=21, label="reference")
+    fixture: dict = {
+        "database": {"num_objects": 60, "max_extent": 0.05, "seed": 3},
+        "reference": {"extent": 0.05, "seed": 21},
+        "scenarios": {},
+    }
+    scenarios = fixture["scenarios"]
+
+    scenarios["knn_external_query"] = _threshold(
+        probabilistic_knn_threshold(database, reference, k=3, tau=0.5, max_iterations=6)
+    )
+    scenarios["knn_member_query"] = _threshold(
+        probabilistic_knn_threshold(database, 7, k=2, tau=0.3, max_iterations=6)
+    )
+    scenarios["rknn"] = _threshold(
+        probabilistic_rknn_threshold(
+            database,
+            reference,
+            k=2,
+            tau=0.5,
+            max_iterations=4,
+            candidate_indices=range(20),
+        )
+    )
+    scenarios["range"] = _threshold(
+        probabilistic_range_query(database, reference, epsilon=0.3, tau=0.5, max_depth=4)
+    )
+
+    ranking = expected_rank_ranking(
+        database, reference, max_iterations=3, candidate_indices=range(15)
+    )
+    scenarios["ranking"] = [
+        {
+            "index": entry.index,
+            "lower": round(entry.expected_rank_lower, ROUND),
+            "upper": round(entry.expected_rank_upper, ROUND),
+        }
+        for entry in ranking.ranking
+    ]
+
+    inverse = probabilistic_inverse_ranking(database, 5, reference, max_iterations=4)
+    scenarios["inverse_ranking"] = {
+        "lower": [round(float(v), ROUND) for v in inverse.lower],
+        "upper": [round(float(v), ROUND) for v in inverse.upper],
+        "complete_count": inverse.idca_result.complete_count,
+        "num_influence": inverse.idca_result.num_influence,
+    }
+    return fixture
+
+
+if __name__ == "__main__":
+    path = os.path.join(os.path.dirname(__file__), "engine_equivalence.json")
+    with open(path, "w") as handle:
+        json.dump(build(), handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {path}")
