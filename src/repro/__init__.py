@@ -36,7 +36,9 @@ from .core import (
     UncertaintyBelow,
     complete_domination_filter,
     domination_count_bounds,
+    domination_count_bounds_batch,
     pdom_bounds,
+    pdom_bounds_batch,
     poisson_binomial_pmf,
     probabilistic_domination_bounds,
     regular_gf_bounds,
@@ -119,8 +121,10 @@ __all__ = [
     "poisson_binomial_pmf",
     "regular_gf_bounds",
     "domination_count_bounds",
+    "domination_count_bounds_batch",
     "complete_domination_filter",
     "pdom_bounds",
+    "pdom_bounds_batch",
     "probabilistic_domination_bounds",
     "StopCriterion",
     "NeverStop",

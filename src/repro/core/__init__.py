@@ -5,18 +5,22 @@ from .domination import (
     complete_domination_filter,
     complete_domination_scan,
     pdom_bounds,
+    pdom_bounds_batch,
     pdom_bounds_from_partitions,
     probabilistic_domination_bounds,
 )
 from .domination_count import (
     DominationCountBounds,
     combine_weighted_bounds,
+    combine_weighted_bounds_arrays,
     domination_count_bounds,
+    domination_count_bounds_batch,
 )
 from .generating_functions import (
     UncertainGeneratingFunction,
     poisson_binomial_pmf,
     regular_gf_bounds,
+    ugf_pmf_bounds_batch,
 )
 from .idca import IDCA, IDCAResult, IDCARun, IterationStats
 from .stop_criteria import (
@@ -33,14 +37,18 @@ __all__ = [
     "complete_domination_filter",
     "complete_domination_scan",
     "pdom_bounds",
+    "pdom_bounds_batch",
     "pdom_bounds_from_partitions",
     "probabilistic_domination_bounds",
     "DominationCountBounds",
     "combine_weighted_bounds",
+    "combine_weighted_bounds_arrays",
     "domination_count_bounds",
+    "domination_count_bounds_batch",
     "UncertainGeneratingFunction",
     "poisson_binomial_pmf",
     "regular_gf_bounds",
+    "ugf_pmf_bounds_batch",
     "IDCA",
     "IDCAResult",
     "IDCARun",

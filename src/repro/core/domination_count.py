@@ -16,9 +16,15 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from .generating_functions import UncertainGeneratingFunction
+from .generating_functions import UncertainGeneratingFunction, ugf_pmf_bounds_batch
 
-__all__ = ["DominationCountBounds", "domination_count_bounds", "combine_weighted_bounds"]
+__all__ = [
+    "DominationCountBounds",
+    "domination_count_bounds",
+    "domination_count_bounds_batch",
+    "combine_weighted_bounds",
+    "combine_weighted_bounds_arrays",
+]
 
 
 @dataclass(frozen=True)
@@ -221,6 +227,66 @@ def domination_count_bounds(
     return DominationCountBounds(lower=lower, upper=upper, k_cap=k_cap)
 
 
+def domination_count_bounds_batch(
+    lower_probs: np.ndarray,
+    upper_probs: np.ndarray,
+    complete_count: int = 0,
+    total_objects: Optional[int] = None,
+    k_cap: Optional[int] = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Batched :func:`domination_count_bounds` over many partition pairs.
+
+    ``lower_probs`` / ``upper_probs`` are ``(num_pairs, num_influence)``
+    matrices — one row of per-object domination bounds per partition pair, as
+    produced by the batched pair-bounds kernel.  The UGF expansion, the
+    ``ShiftRight`` by ``complete_count`` and the ``k_cap`` truncation are all
+    applied across the whole batch in one vectorised pass; row ``i`` of the
+    returned ``(num_pairs, total_objects + 1)`` arrays is bit-identical to
+    ``domination_count_bounds(lower_probs[i], upper_probs[i], ...)``.
+
+    Unlike the scalar constructor this returns raw PMF-bound arrays (no
+    per-row :class:`DominationCountBounds` instances); pass them to
+    :func:`combine_weighted_bounds_arrays` to aggregate the pairs.
+    """
+    lower_arr = np.atleast_2d(np.asarray(lower_probs, dtype=float))
+    upper_arr = np.atleast_2d(np.asarray(upper_probs, dtype=float))
+    if lower_arr.shape != upper_arr.shape or lower_arr.ndim != 2:
+        raise ValueError("lower_probs and upper_probs must be matrices of equal shape")
+    if complete_count < 0:
+        raise ValueError("complete_count must be non-negative")
+
+    num_pairs, num_influence = lower_arr.shape
+    if total_objects is None:
+        total_objects = complete_count + num_influence
+    if total_objects < complete_count + num_influence:
+        raise ValueError("total_objects too small for the given counts")
+    length = total_objects + 1
+
+    ugf_cap: Optional[int] = None
+    if k_cap is not None:
+        if k_cap < complete_count:
+            ugf_cap = 0
+        else:
+            ugf_cap = min(num_influence, k_cap - complete_count)
+
+    pmf_lower, pmf_upper = ugf_pmf_bounds_batch(lower_arr, upper_arr, k_cap=ugf_cap)
+
+    lower = np.zeros((num_pairs, length))
+    upper = np.ones((num_pairs, length))
+    upper[:, :complete_count] = 0.0
+    upper[:, complete_count + num_influence + 1 :] = 0.0
+
+    top = pmf_lower.shape[1]
+    lower[:, complete_count : complete_count + top] = pmf_lower
+    upper[:, complete_count : complete_count + top] = pmf_upper
+    if k_cap is not None:
+        lower[:, k_cap + 1 :] = 0.0
+        upper[:, k_cap + 1 :] = np.where(
+            np.arange(k_cap + 1, length) <= complete_count + num_influence, 1.0, 0.0
+        )
+    return lower, upper
+
+
 def combine_weighted_bounds(
     parts: Sequence[tuple[float, DominationCountBounds]],
     k_cap: Optional[int] = None,
@@ -236,16 +302,49 @@ def combine_weighted_bounds(
     if not parts:
         raise ValueError("parts must not be empty")
     length = len(parts[0][1])
+    for _, bounds in parts:
+        if len(bounds) != length:
+            raise ValueError("all parts must have the same length")
+    return combine_weighted_bounds_arrays(
+        np.array([weight for weight, _ in parts], dtype=float),
+        np.stack([bounds.lower for _, bounds in parts]),
+        np.stack([bounds.upper for _, bounds in parts]),
+        k_cap=k_cap,
+    )
+
+
+def combine_weighted_bounds_arrays(
+    weights: np.ndarray,
+    pmf_lower: np.ndarray,
+    pmf_upper: np.ndarray,
+    k_cap: Optional[int] = None,
+) -> DominationCountBounds:
+    """Matrix form of :func:`combine_weighted_bounds`.
+
+    ``pmf_lower`` / ``pmf_upper`` are ``(num_pairs, length)`` PMF-bound
+    matrices (one row per partition pair, e.g. from
+    :func:`domination_count_bounds_batch`) and ``weights`` the per-pair
+    ``P(B') * P(R')`` weights.  Rows are accumulated sequentially in pair
+    order — the exact association the tuple-based API used — so both entry
+    points produce bit-identical results.
+    """
+    weights = np.asarray(weights, dtype=float)
+    pmf_lower = np.atleast_2d(np.asarray(pmf_lower, dtype=float))
+    pmf_upper = np.atleast_2d(np.asarray(pmf_upper, dtype=float))
+    if weights.ndim != 1 or weights.shape[0] == 0:
+        raise ValueError("parts must not be empty")
+    if pmf_lower.shape != pmf_upper.shape or pmf_lower.shape[0] != weights.shape[0]:
+        raise ValueError("weights and bound matrices disagree on the number of pairs")
+    length = pmf_lower.shape[1]
     lower = np.zeros(length)
     upper = np.zeros(length)
     total_weight = 0.0
-    for weight, bounds in parts:
-        if len(bounds) != length:
-            raise ValueError("all parts must have the same length")
+    for i in range(weights.shape[0]):
+        weight = float(weights[i])
         if weight < 0:
             raise ValueError("weights must be non-negative")
-        lower += weight * bounds.lower
-        upper += weight * bounds.upper
+        lower += weight * pmf_lower[i]
+        upper += weight * pmf_upper[i]
         total_weight += weight
     if total_weight > 1.0 + 1e-9:
         raise ValueError("partition-pair weights must not exceed 1")

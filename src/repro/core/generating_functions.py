@@ -38,6 +38,7 @@ import numpy as np
 __all__ = [
     "poisson_binomial_pmf",
     "UncertainGeneratingFunction",
+    "ugf_pmf_bounds_batch",
     "regular_gf_bounds",
 ]
 
@@ -251,6 +252,76 @@ class UncertainGeneratingFunction:
     def total_mass(self) -> float:
         """Total probability mass of the expansion (should be 1)."""
         return float(self.coefficients.sum())
+
+
+def ugf_pmf_bounds_batch(
+    lower: np.ndarray,
+    upper: np.ndarray,
+    k_cap: Optional[int] = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """UGF PMF bounds for a whole batch of probability-bound vectors at once.
+
+    Expands ``num_batches`` uncertain generating functions — one per row of
+    ``lower`` / ``upper``, shape ``(num_batches, n)`` — in a single pass: the
+    trinomial-multiplication loop runs once over the ``n`` variables with
+    every polynomial operation vectorised across the batch axis.  IDCA uses
+    this to turn the ``(num_pairs, num_candidates)`` bound matrices of the
+    batched pair-bounds kernel into per-pair domination-count PMF bounds
+    without constructing one :class:`UncertainGeneratingFunction` per pair.
+
+    The arithmetic is element-for-element the sequence of operations the
+    scalar class performs (the scalar path's skipped ``p == 0`` branches add
+    exact zeros here), so each row of the result is bit-identical to
+    ``UncertainGeneratingFunction(lower[i], upper[i], k_cap).pmf_bounds()``.
+
+    Returns ``(pmf_lower, pmf_upper)`` of shape ``(num_batches, top + 1)``
+    with ``top = n`` (or ``min(n, k_cap)`` under truncation).
+    """
+    lower_arr = np.atleast_2d(np.asarray(lower, dtype=float))
+    upper_arr = np.atleast_2d(np.asarray(upper, dtype=float))
+    if lower_arr.ndim != 2 or lower_arr.shape != upper_arr.shape:
+        raise ValueError("lower and upper must be 2-D arrays of identical shape")
+    for name, arr in (("lower", lower_arr), ("upper", upper_arr)):
+        if np.any(arr < -1e-12) or np.any(arr > 1.0 + 1e-12):
+            raise ValueError(f"{name} must contain probabilities in [0, 1]")
+    if np.any(lower_arr > upper_arr + 1e-12):
+        raise ValueError("lower bounds must not exceed upper bounds")
+    lower_arr = np.clip(lower_arr, 0.0, 1.0)
+    upper_arr = np.maximum(lower_arr, np.clip(upper_arr, 0.0, 1.0))
+    if k_cap is not None and k_cap < 0:
+        raise ValueError("k_cap must be non-negative")
+
+    num_batches, n = lower_arr.shape
+    cap = n if k_cap is None else min(n, k_cap + 1)
+    size = cap + 1
+    coeff = np.zeros((num_batches, size, size), dtype=float)
+    coeff[:, 0, 0] = 1.0
+    for i in range(n):
+        p_lb = lower_arr[:, i, None, None]
+        p_ub = upper_arr[:, i, None, None]
+        new = coeff * (1.0 - p_ub)
+        shifted = np.zeros_like(coeff)
+        shifted[:, 1:size, :] += coeff[:, : size - 1, :]
+        shifted[:, size - 1, :] += coeff[:, size - 1, :]
+        new += shifted * p_lb
+        shifted = np.zeros_like(coeff)
+        shifted[:, :, 1:size] += coeff[:, :, : size - 1]
+        shifted[:, :, size - 1] += coeff[:, :, size - 1]
+        new += shifted * (p_ub - p_lb)
+        coeff = new
+
+    top = n if k_cap is None else min(n, k_cap)
+    pmf_lower = np.zeros((num_batches, top + 1), dtype=float)
+    pmf_upper = np.empty((num_batches, top + 1), dtype=float)
+    for k in range(top + 1):
+        if not (k == cap and n > cap):
+            # the last row also holds mass of definite counts > cap
+            pmf_lower[:, k] = coeff[:, k, 0]
+        total = np.zeros(num_batches, dtype=float)
+        for i in range(0, min(k, size - 1) + 1):
+            total += coeff[:, i, max(0, k - i) :].sum(axis=-1)
+        pmf_upper[:, k] = np.minimum(total, 1.0)
+    return pmf_lower, pmf_upper
 
 
 def regular_gf_bounds(

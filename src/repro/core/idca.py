@@ -8,10 +8,12 @@ object ``B`` and a reference object ``R``, it
    *influence objects* whose relation is uncertain);
 2. iteratively decomposes ``B``, ``R`` and the influence objects one kd-tree
    level at a time;
-3. in every iteration builds, for each pair of partitions ``(B', R')``, an
-   uncertain generating function over the per-influence-object domination
-   bounds, and combines the per-pair domination-count bounds weighted by
-   ``P(B') * P(R')`` (Section IV-E);
+3. in every iteration computes the per-influence-object domination bounds of
+   *all* pairs of partitions ``(B', R')`` with one batched kernel call
+   (:func:`~repro.core.domination.pdom_bounds_batch`), expands the uncertain
+   generating functions of all pairs in one vectorised pass, and combines the
+   per-pair domination-count bounds weighted by ``P(B') * P(R')``
+   (Section IV-E);
 4. stops as soon as the supplied stop criterion is satisfied (e.g. a threshold
    predicate became decidable) or the iteration budget is exhausted.
 
@@ -31,11 +33,12 @@ import numpy as np
 from ..geometry import DominationCriterion
 from ..uncertain import DecompositionTree, UncertainDatabase, UncertainObject
 from ..uncertain.decomposition import AxisPolicy
-from .domination import complete_domination_filter, pdom_bounds_from_partitions
+from .domination import complete_domination_filter, pdom_bounds_batch
 from .domination_count import (
     DominationCountBounds,
-    combine_weighted_bounds,
+    combine_weighted_bounds_arrays,
     domination_count_bounds,
+    domination_count_bounds_batch,
 )
 from .stop_criteria import StopCriterion
 
@@ -46,13 +49,21 @@ ObjectOrIndex = Union[UncertainObject, int, np.integer]
 
 @dataclass(frozen=True)
 class IterationStats:
-    """Statistics of one refinement iteration."""
+    """Statistics of one refinement iteration.
+
+    ``elapsed_seconds`` is the total wall-clock time of the iteration;
+    ``cache_seconds`` is the share of it spent looking up and storing entries
+    of the shared pair-bounds cache.  ``elapsed_seconds - cache_seconds`` is
+    therefore the kernel-plus-aggregation time, so profiling can attribute a
+    regression to the memo layer or to the arithmetic.
+    """
 
     iteration: int
     uncertainty: float
     elapsed_seconds: float
     num_pairs: int
     candidate_partitions: int
+    cache_seconds: float = 0.0
 
 
 @dataclass
@@ -145,9 +156,14 @@ class IDCA:
         the query engine's shared refinement context does — lets them reuse
         each other's decompositions.
     pair_bounds_cache:
-        Optional externally-owned memo of per-partition-pair domination
-        bounds, shared the same way.  Entries are deterministic functions of
-        their key, so sharing never changes results.
+        Optional externally-owned memo of domination-bound matrix columns,
+        shared the same way.  Each entry is keyed by *(candidate tree token,
+        candidate depth, target key, reference key, config)* and stores the
+        whole ``(num_pairs,)`` lower/upper column of that candidate across
+        every (target partition, reference partition) pair, so a hit skips an
+        entire kernel column instead of a single scalar.  Entries are
+        deterministic functions of their key, so sharing never changes
+        results.
     """
 
     def __init__(
@@ -223,41 +239,23 @@ class IDCA:
             return self.database[index]
         return spec
 
-    def _pair_bounds_for(
-        self,
-        key: Optional[tuple],
-        regions: np.ndarray,
-        masses: np.ndarray,
-        target_region: np.ndarray,
-        reference_region: np.ndarray,
-    ) -> tuple[float, float]:
-        """Memoised ``pdom_bounds_from_partitions`` for one partition pair.
+    def _store_pair_bounds(self, key: tuple, value: tuple[np.ndarray, np.ndarray]) -> None:
+        """Insert one bounds-matrix column into the shared memo, bounded.
 
-        ``key`` identifies the partition pair positionally — candidate
-        database position and depth, plus (tree identity, depth, partition
-        index) for the target and reference regions.  Partition arrays are
-        deterministic and cached per (tree, depth), so the positional key
-        determines the bounds completely without hashing region coordinates.
-        ``None`` (no cache wired in) computes directly.
+        ``key`` identifies the column positionally — (candidate tree token,
+        candidate depth, target key, reference key, config).  Partition
+        arrays are deterministic and cached per (tree, depth), so the
+        positional key determines the whole column without hashing region
+        coordinates.  ``value`` is the ``(lower, upper)`` pair of
+        ``(num_pairs,)`` arrays for every (target, reference) partition pair,
+        in row-major pair order.
         """
         cache = self._pair_bounds
-        if cache is None or key is None:
-            return pdom_bounds_from_partitions(
-                regions, masses, target_region, reference_region,
-                p=self.p, criterion=self.criterion,
-            )
-        value = cache.get(key)
-        if value is None:
-            value = pdom_bounds_from_partitions(
-                regions, masses, target_region, reference_region,
-                p=self.p, criterion=self.criterion,
-            )
-            if len(cache) >= _PAIR_BOUNDS_CACHE_MAX:
-                # FIFO eviction of the oldest tenth keeps the memo bounded
-                for stale in list(itertools.islice(iter(cache), _PAIR_BOUNDS_CACHE_MAX // 10)):
-                    del cache[stale]
-            cache[key] = value
-        return value
+        if len(cache) >= _PAIR_BOUNDS_CACHE_MAX:
+            # FIFO eviction of the oldest tenth keeps the memo bounded
+            for stale in list(itertools.islice(iter(cache), _PAIR_BOUNDS_CACHE_MAX // 10)):
+                del cache[stale]
+        cache[key] = value
 
     # ------------------------------------------------------------------ #
     # main entry points
@@ -311,7 +309,10 @@ class IDCA:
         ).run()
 
 
-_PAIR_BOUNDS_CACHE_MAX = 200_000
+# entries are whole bounds-matrix columns (two (num_pairs,) arrays), i.e. up
+# to ~1 KiB each at the default depth caps — far fewer, larger entries than
+# the scalar-per-pair memo this cache replaced
+_PAIR_BOUNDS_CACHE_MAX = 50_000
 _TREE_CACHE_MAX = 4096
 
 
@@ -458,75 +459,108 @@ class IDCARun:
         ]
         max_candidate_partitions = max(parts[0].shape[0] for parts in candidate_parts)
 
+        num_candidates = len(self._influence_trees)
+        num_pairs = target_regions.shape[0] * reference_regions.shape[0]
+        lower_matrix = np.empty((num_pairs, num_candidates))
+        upper_matrix = np.empty((num_pairs, num_candidates))
+
         # positional memo keys: cached partition arrays are deterministic per
-        # (tree, depth), so pairs are identified without hashing coordinates.
-        # Tree tokens are process-unique (never reused after eviction or GC)
-        # and change with the axis policy, so a shared pair-bounds cache can
-        # never serve bounds computed from a different partitioning.
-        memoise = idca._pair_bounds is not None
-        if memoise:
-            candidate_keys = [
-                (tree.token, int(depth))
-                for tree, depth in zip(self._influence_trees, candidate_depths)
-            ]
+        # (tree, depth), so bounds-matrix columns are identified without
+        # hashing coordinates.  Tree tokens are process-unique (never reused
+        # after eviction or GC) and change with the axis policy, so a shared
+        # pair-bounds cache can never serve bounds computed from a different
+        # partitioning.
+        cache = idca._pair_bounds
+        cache_seconds = 0.0
+        missing: list[int] = []
+        keys: Optional[list[tuple]] = None
+        if cache is not None:
             target_key = (self._target_tree.token, target_depth)
             reference_key = (self._reference_tree.token, reference_depth)
             config_key = (idca.p, idca.criterion)
+            keys = [
+                ((tree.token, int(depth)), target_key, reference_key, config_key)
+                for tree, depth in zip(self._influence_trees, candidate_depths)
+            ]
+            lookup_start = time.perf_counter()
+            for c_idx, key in enumerate(keys):
+                value = cache.get(key)
+                if value is None:
+                    missing.append(c_idx)
+                else:
+                    lower_matrix[:, c_idx] = value[0]
+                    upper_matrix[:, c_idx] = value[1]
+            cache_seconds += time.perf_counter() - lookup_start
+        else:
+            missing = list(range(num_candidates))
 
-        num_candidates = len(self._influence_trees)
-        pair_results: list[tuple[float, DominationCountBounds]] = []
-        widths = np.zeros(num_candidates)
-        for b_idx in range(target_regions.shape[0]):
-            for r_idx in range(reference_regions.shape[0]):
-                weight = float(target_masses[b_idx] * reference_masses[r_idx])
-                if weight <= 0.0:
-                    continue
-                lower = np.empty(num_candidates)
-                upper = np.empty(num_candidates)
-                for c_idx, (regions, masses) in enumerate(candidate_parts):
-                    key = (
-                        (
-                            candidate_keys[c_idx],
-                            target_key,
-                            b_idx,
-                            reference_key,
-                            r_idx,
-                            config_key,
-                        )
-                        if memoise
-                        else None
-                    )
-                    lower[c_idx], upper[c_idx] = idca._pair_bounds_for(
-                        key,
-                        regions,
-                        masses,
-                        target_regions[b_idx],
-                        reference_regions[r_idx],
-                    )
-                widths += weight * (upper - lower)
-                pair_results.append(
-                    (
-                        weight,
-                        domination_count_bounds(
-                            lower,
-                            upper,
-                            complete_count=self._complete_count,
-                            total_objects=self._total_objects,
-                            k_cap=idca.k_cap,
-                        ),
-                    )
+        if missing:
+            # one batched kernel call covers every uncached candidate column
+            counts = np.array(
+                [candidate_parts[c_idx][1].shape[0] for c_idx in missing], dtype=int
+            )
+            pad_to = int(counts.max())
+            padded = [
+                self._influence_trees[c_idx].partitions_arrays(
+                    int(candidate_depths[c_idx]), pad_to=pad_to
                 )
+                for c_idx in missing
+            ]
+            stacked_regions = np.stack([regions for regions, _ in padded])
+            stacked_masses = np.stack([masses for _, masses in padded])
+            fresh_lower, fresh_upper = pdom_bounds_batch(
+                stacked_regions,
+                stacked_masses,
+                target_regions,
+                reference_regions,
+                p=idca.p,
+                criterion=idca.criterion,
+                partition_counts=counts,
+            )
+            lower_matrix[:, missing] = fresh_lower
+            upper_matrix[:, missing] = fresh_upper
+            if cache is not None:
+                store_start = time.perf_counter()
+                for j, c_idx in enumerate(missing):
+                    idca._store_pair_bounds(
+                        keys[c_idx],
+                        (fresh_lower[:, j].copy(), fresh_upper[:, j].copy()),
+                    )
+                cache_seconds += time.perf_counter() - store_start
+
+        # pair weights in the same row-major (target-major) order as the
+        # matrix rows; zero-mass pairs carry no possible worlds and are
+        # dropped exactly as the scalar loop skipped them
+        pair_weights = (target_masses[:, None] * reference_masses[None, :]).ravel()
+        active: list[int] = []
+        widths = np.zeros(num_candidates)
+        for pair_idx in range(num_pairs):
+            weight = float(pair_weights[pair_idx])
+            if weight <= 0.0:
+                continue
+            widths += weight * (upper_matrix[pair_idx] - lower_matrix[pair_idx])
+            active.append(pair_idx)
         self._previous_widths = widths
 
-        bounds = combine_weighted_bounds(pair_results, k_cap=idca.k_cap)
+        pmf_lower, pmf_upper = domination_count_bounds_batch(
+            lower_matrix[active],
+            upper_matrix[active],
+            complete_count=self._complete_count,
+            total_objects=self._total_objects,
+            k_cap=idca.k_cap,
+        )
+        bounds = combine_weighted_bounds_arrays(
+            pair_weights[active], pmf_lower, pmf_upper, k_cap=idca.k_cap
+        )
         self.result.bounds = bounds
         self.result.iterations.append(
             IterationStats(
                 iteration=iteration,
                 uncertainty=bounds.uncertainty(),
                 elapsed_seconds=time.perf_counter() - iter_start,
-                num_pairs=len(pair_results),
+                num_pairs=len(active),
                 candidate_partitions=max_candidate_partitions,
+                cache_seconds=cache_seconds,
             )
         )
         self._iteration = iteration

@@ -6,8 +6,12 @@ IDCA performs per candidate is positionally identical across those runs:
 
 * the decomposition kd-trees of the query object and of the database objects
   (influence objects recur between candidates and between queries), and
-* the per-partition-pair domination bounds, which are deterministic functions
-  of (candidate partitions, target region, reference region).
+* the domination-bound matrix columns produced by the batched pair-bounds
+  kernel: for one candidate at one depth against one (target grid, reference
+  grid), the ``(num_pairs,)`` lower/upper bound vectors over *all* partition
+  pairs are deterministic functions of the key, so an entry is stored —
+  and served — as a whole array, and a cache hit removes the candidate's
+  entire column from the next kernel call.
 
 :class:`RefinementContext` owns both memos and hands out IDCA instances wired
 to them, so every run launched through the same context — including every
@@ -29,7 +33,11 @@ __all__ = ["CacheStats", "RefinementContext"]
 
 
 class CacheStats(dict):
-    """A dict that counts lookup hits and misses (for benchmark reporting)."""
+    """A dict that counts lookup hits and misses (for benchmark reporting).
+
+    Since the kernel refactor one entry is a whole bounds-matrix column, so a
+    single hit now stands for ``num_pairs`` scalar bounds served at once.
+    """
 
     def __init__(self) -> None:
         super().__init__()

@@ -124,13 +124,15 @@ def domination_bulk(
 
     Parameters
     ----------
-    a_rects, b_rects:
+    a_rects, b_rects, r_rect:
         Arrays broadcastable to a common shape ``(..., d, 2)`` holding the
-        rectangles of the (potential) dominators and dominatees.  Typically one
-        of the two is a single rectangle of shape ``(d, 2)`` and the other a
-        database of shape ``(n, d, 2)``.
-    r_rect:
-        Rectangle of the reference object, shape ``(d, 2)``.
+        rectangles of the (potential) dominators, dominatees and reference
+        regions.  Typically ``r_rect`` is a single rectangle of shape
+        ``(d, 2)`` and one of ``a_rects`` / ``b_rects`` a database of shape
+        ``(n, d, 2)``; the batched pair-bounds kernel instead passes a padded
+        ``(1, 1, c, m, d, 2)`` candidate tensor against ``(n_b, 1, 1, 1, d, 2)``
+        target and ``(1, n_r, 1, 1, d, 2)`` reference grids, evaluating every
+        (pair, candidate, partition) combination in one call.
     p:
         Finite ``Lp`` norm parameter (``p >= 1``).
     criterion:
@@ -139,8 +141,8 @@ def domination_bulk(
     Returns
     -------
     numpy.ndarray
-        Boolean array of shape ``(...)`` — entry ``i`` is True iff
-        ``A_i`` completely dominates ``B_i`` w.r.t. ``R``.
+        Boolean array of the broadcast shape ``(...)`` — entry ``i`` is True
+        iff ``A_i`` completely dominates ``B_i`` w.r.t. ``R_i``.
     """
     if p < 1:
         raise ValueError(f"Lp norms require p >= 1, got {p}")
@@ -150,7 +152,6 @@ def domination_bulk(
     a_rects = np.asarray(a_rects, dtype=float)
     b_rects = np.asarray(b_rects, dtype=float)
     r_rect = np.asarray(r_rect, dtype=float)
-    a_rects, b_rects = np.broadcast_arrays(a_rects, b_rects)
 
     a_lo, a_hi = a_rects[..., 0], a_rects[..., 1]
     b_lo, b_hi = b_rects[..., 0], b_rects[..., 1]

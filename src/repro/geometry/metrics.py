@@ -129,9 +129,12 @@ def max_dist_point_arrays(rects: np.ndarray, point: np.ndarray, p: float = 2.0) 
 
 
 def min_dist_arrays(rects: np.ndarray, other: np.ndarray, p: float = 2.0) -> np.ndarray:
-    """Minimal distances between ``n`` rectangles and one rectangle.
+    """Minimal distances between rectangles, fully broadcast.
 
-    ``rects`` has shape ``(n, d, 2)``, ``other`` has shape ``(d, 2)``.
+    ``rects`` and ``other`` may be any shapes broadcastable to a common
+    ``(..., d, 2)`` — the classical case is ``(n, d, 2)`` against ``(d, 2)``,
+    but batched kernels pass higher-rank grids (e.g. ``(n, 1, d, 2)`` against
+    ``(1, m, d, 2)`` for all-pairs distances in one call).
     """
     p = _validate_p(p)
     other = np.asarray(other, dtype=float)
@@ -142,7 +145,7 @@ def min_dist_arrays(rects: np.ndarray, other: np.ndarray, p: float = 2.0) -> np.
 
 
 def max_dist_arrays(rects: np.ndarray, other: np.ndarray, p: float = 2.0) -> np.ndarray:
-    """Maximal distances between ``n`` rectangles and one rectangle."""
+    """Maximal distances between rectangles, broadcast like :func:`min_dist_arrays`."""
     p = _validate_p(p)
     other = np.asarray(other, dtype=float)
     per_dim = np.maximum(

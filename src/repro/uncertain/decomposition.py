@@ -188,7 +188,9 @@ class DecompositionTree:
             if node.probability > _MASS_EPS
         ]
 
-    def partitions_arrays(self, depth: int) -> tuple[np.ndarray, np.ndarray]:
+    def partitions_arrays(
+        self, depth: int, pad_to: Optional[int] = None
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Partitions at ``depth`` as ``(regions, masses)`` numpy arrays.
 
         ``regions`` has shape ``(k, d, 2)``, ``masses`` shape ``(k,)``; this is
@@ -196,11 +198,34 @@ class DecompositionTree:
         The arrays are cached per depth (the frontier at a depth never changes
         once built) and must be treated as read-only — IDCA iterations, the
         shared refinement context and repeated queries all reuse them.
+
+        With ``pad_to`` the arrays are padded to ``pad_to`` rows so several
+        trees at different adaptive depths can be stacked into the dense
+        ``(num_candidates, max_partitions, d, 2)`` tensor consumed by the
+        batched pair-bounds kernel.  Padding rows carry **zero probability
+        mass** and a degenerate point rectangle at the origin; any domination
+        verdict computed for them is weighted by zero mass and therefore can
+        never influence a bound.  Padded variants are built fresh from the
+        cached base arrays — the pad is a cheap ``O(k * d)`` copy and the pad
+        width varies with whichever candidates are batched together, so
+        caching every width would accumulate without bound.
         """
         if depth < 0:
             raise ValueError("depth must be non-negative")
         if self.max_depth is not None:
             depth = min(depth, self.max_depth)
+        if pad_to is not None:
+            base_regions, base_masses = self.partitions_arrays(depth)
+            k = base_masses.shape[0]
+            if pad_to < k:
+                raise ValueError(
+                    f"pad_to={pad_to} is smaller than the {k} partitions at depth {depth}"
+                )
+            regions = np.zeros((pad_to, base_regions.shape[1], 2), dtype=float)
+            masses = np.zeros(pad_to, dtype=float)
+            regions[:k] = base_regions
+            masses[:k] = base_masses
+            return regions, masses
         cached = self._arrays_cache.get(depth)
         if cached is not None:
             return cached

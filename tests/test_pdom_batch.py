@@ -1,0 +1,395 @@
+"""Tests for the batched pair-bounds kernel layer.
+
+Covers the broadcasting edge cases of ``domination_bulk`` /
+``pdom_bounds_batch`` (zero-mass padding, degenerate rectangles, ``p = 1``
+and ``p = inf``), the padded stacked representation served by
+``DecompositionTree.partitions_arrays``, the batched UGF / domination-count
+aggregation, and a property test asserting the batch results equal the
+scalar reference loop.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    IDCA,
+    MaxIterations,
+    combine_weighted_bounds,
+    combine_weighted_bounds_arrays,
+    domination_count_bounds,
+    domination_count_bounds_batch,
+    pdom_bounds_batch,
+    pdom_bounds_from_partitions,
+    ugf_pmf_bounds_batch,
+)
+from repro.core.generating_functions import UncertainGeneratingFunction
+from repro.datasets import (
+    discrete_sample_database,
+    random_reference_object,
+    uniform_rectangle_database,
+)
+from repro.geometry import domination_bulk
+from repro.uncertain import DecompositionTree
+
+
+def _random_rects(rng, shape):
+    """Random rectangles of the given leading shape, as (..., d, 2) arrays."""
+    lows = rng.uniform(0.0, 1.0, size=shape + (2,))
+    extents = rng.uniform(0.0, 0.3, size=shape + (2,))
+    rects = np.empty(shape + (2, 2))
+    rects[..., 0] = lows
+    rects[..., 1] = lows + extents
+    return rects
+
+
+def _scalar_reference(parts, target_regions, reference_regions, p=2.0, criterion="optimal"):
+    num_pairs = target_regions.shape[0] * reference_regions.shape[0]
+    lower = np.empty((num_pairs, len(parts)))
+    upper = np.empty((num_pairs, len(parts)))
+    pair = 0
+    for b_idx in range(target_regions.shape[0]):
+        for r_idx in range(reference_regions.shape[0]):
+            for c_idx, (regions, masses) in enumerate(parts):
+                lower[pair, c_idx], upper[pair, c_idx] = pdom_bounds_from_partitions(
+                    regions,
+                    masses,
+                    target_regions[b_idx],
+                    reference_regions[r_idx],
+                    p=p,
+                    criterion=criterion,
+                )
+            pair += 1
+    return lower, upper
+
+
+class TestDominationBulkBroadcasting:
+    def test_broadcast_reference_grid(self):
+        """r_rect may be a full grid, not just a single rectangle."""
+        rng = np.random.default_rng(0)
+        a = _random_rects(rng, (1, 1, 3, 4))
+        b = _random_rects(rng, (2, 1, 1, 1))
+        r = _random_rects(rng, (1, 5, 1, 1))
+        result = domination_bulk(a, b, r)
+        assert result.shape == (2, 5, 3, 4)
+        # every entry must match the scalar-reference call
+        for bi in range(2):
+            for ri in range(5):
+                expected = domination_bulk(a[0, 0], b[bi, 0, 0, 0], r[0, ri, 0, 0])
+                assert np.array_equal(result[bi, ri], expected)
+
+    def test_degenerate_point_rectangles(self):
+        """Zero-extent rectangles (points) are legal on every operand."""
+        point_a = np.array([[0.1, 0.1], [0.2, 0.2]])
+        point_b = np.array([[0.9, 0.9], [0.8, 0.8]])
+        point_r = np.array([[0.1, 0.1], [0.2, 0.2]])
+        assert bool(domination_bulk(point_a, point_b, point_r))
+        assert not bool(domination_bulk(point_b, point_a, point_r))
+
+    @pytest.mark.parametrize("criterion", ["optimal", "minmax"])
+    def test_p1_matches_scalar(self, criterion):
+        rng = np.random.default_rng(1)
+        a = _random_rects(rng, (6,))
+        b = _random_rects(rng, ())
+        r = _random_rects(rng, ())
+        bulk = domination_bulk(a, b, r, p=1.0, criterion=criterion)
+        for i in range(6):
+            assert bulk[i] == bool(domination_bulk(a[i], b, r, p=1.0, criterion=criterion))
+
+    def test_p_inf_raises(self):
+        rng = np.random.default_rng(2)
+        a = _random_rects(rng, (2,))
+        with pytest.raises(ValueError):
+            domination_bulk(a, a[0], a[1], p=math.inf)
+
+
+class TestPaddedPartitionsArrays:
+    def test_padding_rows_have_zero_mass(self):
+        database = uniform_rectangle_database(3, max_extent=0.1, seed=3)
+        tree = DecompositionTree(database[0])
+        regions, masses = tree.partitions_arrays(2)
+        padded_regions, padded_masses = tree.partitions_arrays(2, pad_to=11)
+        k = masses.shape[0]
+        assert padded_regions.shape == (11, regions.shape[1], 2)
+        assert np.array_equal(padded_regions[:k], regions)
+        assert np.array_equal(padded_masses[:k], masses)
+        assert np.all(padded_masses[k:] == 0.0)
+        assert np.all(padded_regions[k:] == 0.0)
+
+    def test_padded_variant_built_fresh_from_cached_base(self):
+        """Pad widths vary per batch, so only the base arrays are cached."""
+        database = uniform_rectangle_database(3, max_extent=0.1, seed=3)
+        tree = DecompositionTree(database[0])
+        base_first = tree.partitions_arrays(1)
+        base_second = tree.partitions_arrays(1)
+        assert base_first[0] is base_second[0] and base_first[1] is base_second[1]
+        first = tree.partitions_arrays(1, pad_to=7)
+        second = tree.partitions_arrays(1, pad_to=7)
+        assert first[0] is not second[0]
+        assert np.array_equal(first[0], second[0]) and np.array_equal(first[1], second[1])
+
+    def test_pad_to_too_small_raises(self):
+        database = uniform_rectangle_database(3, max_extent=0.1, seed=3)
+        tree = DecompositionTree(database[0])
+        with pytest.raises(ValueError):
+            tree.partitions_arrays(3, pad_to=1)
+
+
+class TestPdomBoundsBatch:
+    def test_zero_mass_padding_cannot_change_bounds(self):
+        """Padded and unpadded batches agree column-for-column exactly."""
+        database = uniform_rectangle_database(6, max_extent=0.08, seed=4)
+        trees = [DecompositionTree(obj) for obj in database]
+        target = DecompositionTree(random_reference_object(extent=0.08, seed=5))
+        target_regions, _ = target.partitions_arrays(1)
+        reference_regions, _ = target.partitions_arrays(0)
+        parts = [tree.partitions_arrays(3) for tree in trees]
+        counts = np.array([m.shape[0] for _, m in parts])
+        tight = int(counts.max())
+        for pad_to in (tight, tight + 9):
+            stacked_regions = np.stack(
+                [t.partitions_arrays(3, pad_to=pad_to)[0] for t in trees]
+            )
+            stacked_masses = np.stack(
+                [t.partitions_arrays(3, pad_to=pad_to)[1] for t in trees]
+            )
+            lower, upper = pdom_bounds_batch(
+                stacked_regions,
+                stacked_masses,
+                target_regions,
+                reference_regions,
+                partition_counts=counts,
+            )
+            if pad_to == tight:
+                base = (lower, upper)
+        assert np.array_equal(base[0], lower)
+        assert np.array_equal(base[1], upper)
+
+    @pytest.mark.parametrize("p", [1.0, 2.0, 3.0])
+    @pytest.mark.parametrize("criterion", ["optimal", "minmax"])
+    def test_property_batch_equals_scalar_loop(self, p, criterion):
+        """The batched kernel reproduces the scalar triple loop."""
+        database = uniform_rectangle_database(12, max_extent=0.06, seed=6)
+        trees = [DecompositionTree(obj) for obj in database]
+        target = DecompositionTree(random_reference_object(extent=0.06, seed=7))
+        reference = DecompositionTree(random_reference_object(extent=0.06, seed=8))
+        target_regions, _ = target.partitions_arrays(2)
+        reference_regions, _ = reference.partitions_arrays(1)
+        # mixed adaptive depths exercise the ragged padding
+        depths = [1 + (i % 4) for i in range(len(trees))]
+        parts = [tree.partitions_arrays(d) for tree, d in zip(trees, depths)]
+        counts = np.array([m.shape[0] for _, m in parts])
+        pad_to = int(counts.max())
+        stacked_regions = np.stack(
+            [t.partitions_arrays(d, pad_to=pad_to)[0] for t, d in zip(trees, depths)]
+        )
+        stacked_masses = np.stack(
+            [t.partitions_arrays(d, pad_to=pad_to)[1] for t, d in zip(trees, depths)]
+        )
+        batch_lower, batch_upper = pdom_bounds_batch(
+            stacked_regions,
+            stacked_masses,
+            target_regions,
+            reference_regions,
+            p=p,
+            criterion=criterion,
+            partition_counts=counts,
+        )
+        scalar_lower, scalar_upper = _scalar_reference(
+            parts, target_regions, reference_regions, p=p, criterion=criterion
+        )
+        # summation re-association may differ by ULPs, nothing more
+        np.testing.assert_allclose(batch_lower, scalar_lower, rtol=0, atol=1e-12)
+        np.testing.assert_allclose(batch_upper, scalar_upper, rtol=0, atol=1e-12)
+        assert np.all(batch_lower <= batch_upper)
+        assert np.all(batch_lower >= 0.0) and np.all(batch_upper <= 1.0)
+
+    def test_discrete_objects_supported(self):
+        """Non-dyadic partition masses (discrete objects) stay consistent."""
+        database = discrete_sample_database(
+            num_objects=5, samples_per_object=7, max_extent=0.3, seed=9
+        )
+        trees = [DecompositionTree(obj) for obj in database]
+        target = DecompositionTree(database[0])
+        target_regions, _ = target.partitions_arrays(1)
+        parts = [tree.partitions_arrays(2) for tree in trees]
+        counts = np.array([m.shape[0] for _, m in parts])
+        pad_to = int(counts.max())
+        stacked_regions = np.stack(
+            [t.partitions_arrays(2, pad_to=pad_to)[0] for t in trees]
+        )
+        stacked_masses = np.stack(
+            [t.partitions_arrays(2, pad_to=pad_to)[1] for t in trees]
+        )
+        batch_lower, batch_upper = pdom_bounds_batch(
+            stacked_regions,
+            stacked_masses,
+            target_regions,
+            target_regions[:1],
+            partition_counts=counts,
+        )
+        scalar_lower, scalar_upper = _scalar_reference(
+            parts, target_regions, target_regions[:1]
+        )
+        np.testing.assert_allclose(batch_lower, scalar_lower, rtol=0, atol=1e-12)
+        np.testing.assert_allclose(batch_upper, scalar_upper, rtol=0, atol=1e-12)
+
+    def test_p_inf_raises(self):
+        database = uniform_rectangle_database(2, max_extent=0.1, seed=10)
+        tree = DecompositionTree(database[0])
+        regions, masses = tree.partitions_arrays(1, pad_to=2)
+        with pytest.raises(ValueError):
+            pdom_bounds_batch(
+                regions[None],
+                masses[None],
+                regions[:1],
+                regions[:1],
+                p=math.inf,
+            )
+
+    def test_empty_candidate_batch(self):
+        lower, upper = pdom_bounds_batch(
+            np.empty((0, 1, 2, 2)),
+            np.empty((0, 1)),
+            np.zeros((2, 2, 2)),
+            np.zeros((3, 2, 2)),
+        )
+        assert lower.shape == (6, 0) and upper.shape == (6, 0)
+
+    def test_bad_partition_counts_raise(self):
+        regions = np.zeros((2, 3, 2, 2))
+        masses = np.zeros((2, 3))
+        grid = np.zeros((1, 2, 2))
+        with pytest.raises(ValueError):
+            pdom_bounds_batch(regions, masses, grid, grid, partition_counts=np.array([-1, 3]))
+        with pytest.raises(ValueError):
+            pdom_bounds_batch(regions, masses, grid, grid, partition_counts=np.array([4, 3]))
+
+    def test_zero_partition_candidate_gets_scalar_bounds(self):
+        """A massless candidate yields (0, 0) exactly like the scalar path."""
+        rng = np.random.default_rng(20)
+        regions = _random_rects(rng, (2, 3))
+        masses = np.array([[0.25, 0.25, 0.5], [0.0, 0.0, 0.0]])
+        grid = _random_rects(rng, (2,))
+        lower, upper = pdom_bounds_batch(
+            regions, masses, grid, grid[:1], partition_counts=np.array([3, 0])
+        )
+        assert np.all(lower[:, 1] == 0.0) and np.all(upper[:, 1] == 0.0)
+        scalar = _scalar_reference(
+            [(regions[0], masses[0]), (regions[1][:0], masses[1][:0])], grid, grid[:1]
+        )
+        np.testing.assert_allclose(lower, scalar[0], rtol=0, atol=1e-12)
+        np.testing.assert_allclose(upper, scalar[1], rtol=0, atol=1e-12)
+
+    def test_negligible_existence_probability_influence_object(self):
+        """Regression: an influence object whose decomposition has no mass
+        (existence probability below the partition mass epsilon) must not
+        crash the kernel path — the scalar path completed such queries."""
+        from repro.geometry import Interval, Rectangle
+        from repro.uncertain import BoxUniformObject, UncertainDatabase
+
+        def box(lo, hi, existence=1.0, label=""):
+            return BoxUniformObject(
+                Rectangle((Interval(lo[0], hi[0]), Interval(lo[1], hi[1]))),
+                label=label,
+                existence_probability=existence,
+            )
+
+        database = UncertainDatabase(
+            [
+                box((0.1, 0.1), (0.3, 0.3), label="near"),
+                box((0.35, 0.35), (0.55, 0.55), existence=1e-16, label="ghost"),
+                box((0.4, 0.4), (0.6, 0.6), label="mid"),
+            ]
+        )
+        target = box((0.45, 0.45), (0.65, 0.65), label="target")
+        reference = box((0.0, 0.0), (0.2, 0.2), label="reference")
+        result = IDCA(database).domination_count(
+            target, reference, stop=MaxIterations(3), max_iterations=3
+        )
+        assert result.num_iterations >= 1
+        assert np.all(result.bounds.lower <= result.bounds.upper)
+
+
+class TestBatchedAggregation:
+    def test_ugf_batch_matches_scalar_class(self):
+        rng = np.random.default_rng(11)
+        lower = rng.uniform(0.0, 0.6, size=(7, 9))
+        upper = lower + rng.uniform(0.0, 0.4, size=(7, 9))
+        for k_cap in (None, 0, 2, 20):
+            batch_lower, batch_upper = ugf_pmf_bounds_batch(lower, upper, k_cap=k_cap)
+            for i in range(lower.shape[0]):
+                ref_lower, ref_upper = UncertainGeneratingFunction(
+                    lower[i], upper[i], k_cap=k_cap
+                ).pmf_bounds()
+                assert np.array_equal(batch_lower[i], ref_lower)
+                assert np.array_equal(batch_upper[i], ref_upper)
+
+    def test_domination_count_bounds_batch_matches_scalar(self):
+        rng = np.random.default_rng(12)
+        lower = rng.uniform(0.0, 0.5, size=(5, 6))
+        upper = lower + rng.uniform(0.0, 0.5, size=(5, 6))
+        for complete, total, k_cap in ((0, None, None), (2, 12, None), (1, 10, 3)):
+            batch_lower, batch_upper = domination_count_bounds_batch(
+                lower, upper, complete_count=complete, total_objects=total, k_cap=k_cap
+            )
+            for i in range(lower.shape[0]):
+                ref = domination_count_bounds(
+                    lower[i], upper[i], complete_count=complete,
+                    total_objects=total, k_cap=k_cap,
+                )
+                assert np.array_equal(batch_lower[i], ref.lower)
+                assert np.array_equal(batch_upper[i], ref.upper)
+
+    def test_combine_arrays_matches_tuple_api(self):
+        rng = np.random.default_rng(13)
+        lower = rng.uniform(0.0, 0.4, size=(4, 8))
+        upper = np.minimum(lower + rng.uniform(0.0, 0.4, size=(4, 8)), 1.0)
+        weights = np.array([0.25, 0.25, 0.3, 0.1])
+        parts = [
+            (float(w), domination_count_bounds(lower[i], upper[i]))
+            for i, w in enumerate(weights)
+        ]
+        via_tuples = combine_weighted_bounds(parts)
+        via_arrays = combine_weighted_bounds_arrays(
+            weights,
+            np.stack([b.lower for _, b in parts]),
+            np.stack([b.upper for _, b in parts]),
+        )
+        assert np.array_equal(via_tuples.lower, via_arrays.lower)
+        assert np.array_equal(via_tuples.upper, via_arrays.upper)
+
+    def test_combine_arrays_validations(self):
+        pmf = np.full((2, 3), 0.2)
+        with pytest.raises(ValueError):
+            combine_weighted_bounds_arrays(np.empty(0), np.empty((0, 3)), np.empty((0, 3)))
+        with pytest.raises(ValueError):
+            combine_weighted_bounds_arrays(np.array([-0.5, 0.5]), pmf, pmf)
+        with pytest.raises(ValueError):
+            combine_weighted_bounds_arrays(np.array([0.8, 0.8]), pmf, pmf)
+
+
+class TestIterationStatsTiming:
+    def test_cache_seconds_recorded_and_bounded(self):
+        database = uniform_rectangle_database(40, max_extent=0.05, seed=14)
+        reference = random_reference_object(extent=0.05, seed=15)
+        shared_cache: dict = {}
+        idca = IDCA(database, pair_bounds_cache=shared_cache)
+        result = idca.domination_count(0, reference, stop=MaxIterations(3), max_iterations=3)
+        for stat in result.iterations:
+            assert stat.cache_seconds >= 0.0
+            assert stat.cache_seconds <= stat.elapsed_seconds
+        # a second identical run hits the shared cache on every iteration
+        assert len(shared_cache) > 0
+        again = idca.domination_count(0, reference, stop=MaxIterations(3), max_iterations=3)
+        assert np.array_equal(again.bounds.lower, result.bounds.lower)
+        assert np.array_equal(again.bounds.upper, result.bounds.upper)
+
+    def test_uncached_runs_report_zero_cache_time(self):
+        database = uniform_rectangle_database(20, max_extent=0.05, seed=16)
+        reference = random_reference_object(extent=0.05, seed=17)
+        result = IDCA(database).domination_count(
+            0, reference, stop=MaxIterations(2), max_iterations=2
+        )
+        assert all(stat.cache_seconds == 0.0 for stat in result.iterations)
