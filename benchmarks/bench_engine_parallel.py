@@ -1,0 +1,177 @@
+"""Parallel batch execution vs the serial shared-cache batch path.
+
+The seeded 20-query kNN stream of ``bench_engine_batch.py`` (drawn with
+repetition from 8 distinct query objects over a 150-object database) is
+evaluated through ``QueryEngine.evaluate_many``:
+
+* **serial** — today's single-process path: one shared refinement context
+  serves the whole stream, so repeated queries are nearly free;
+* **process, workers = 1 / 2 / 4** — the batch is partitioned with the
+  affinity strategy (requests sharing a query object stay on one worker,
+  preserving cache locality), each worker rebuilds worker-local caches from
+  the engine payload shipped once through the pool initializer, and the
+  chunk results are merged back into request order.
+
+Every mode must return results bit-identical to the serial path — the
+determinism contract of ``repro/engine/executor.py`` — which this benchmark
+asserts on the full result snapshots, not just the match sets.
+
+Speedup is physical: it requires actual cores.  The report records
+``cpu_count`` and the per-worker-count scaling curve; the ≥2.5x target at 4
+workers only applies on machines with at least 4 CPUs (single-core
+containers will measure parallel overhead instead, which is still useful —
+it bounds the cost of the process-pool machinery).  The measured numbers are
+written to ``BENCH_parallel.json`` (override with the ``BENCH_PARALLEL_JSON``
+environment variable).
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_engine_parallel.py
+
+or through the benchmark suite::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_engine_parallel.py -q -s
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.datasets import random_reference_object, uniform_rectangle_database
+from repro.engine import ExecutorConfig, KNNQuery, QueryEngine
+
+NUM_OBJECTS = 150
+NUM_DISTINCT_QUERIES = 8
+STREAM_LENGTH = 20
+K = 3
+TAU = 0.5
+MAX_ITERATIONS = 4
+SEED = 7
+WORKER_COUNTS = (1, 2, 4)
+TARGET_SPEEDUP_AT_4 = 2.5
+
+
+def _workload():
+    database = uniform_rectangle_database(
+        num_objects=NUM_OBJECTS, max_extent=0.05, seed=0
+    )
+    rng = np.random.default_rng(SEED)
+    distinct = [
+        random_reference_object(extent=0.05, rng=rng, label=f"query-{i}")
+        for i in range(NUM_DISTINCT_QUERIES)
+    ]
+    stream = [distinct[i] for i in rng.integers(0, NUM_DISTINCT_QUERIES, size=STREAM_LENGTH)]
+    return database, stream
+
+
+def _snapshot(results) -> list:
+    """Full per-query result snapshot — bit-level comparison material."""
+    snap = []
+    for result in results:
+        snap.append(
+            [
+                (m.index, m.probability_lower, m.probability_upper, m.decision,
+                 m.iterations, m.sequence)
+                for bucket in (result.matches, result.undecided, result.rejected)
+                for m in bucket
+            ]
+            + [result.pruned]
+        )
+    return snap
+
+
+def run_benchmark() -> dict:
+    """Measure the serial baseline and the 1/2/4-worker scaling curve."""
+    database, stream = _workload()
+    requests = [
+        KNNQuery(query, k=K, tau=TAU, max_iterations=MAX_ITERATIONS) for query in stream
+    ]
+
+    serial_engine = QueryEngine(database)
+    start = time.perf_counter()
+    serial_results = serial_engine.evaluate_many(requests)
+    serial_seconds = time.perf_counter() - start
+    baseline = _snapshot(serial_results)
+
+    runs = {}
+    identical = True
+    for workers in WORKER_COUNTS:
+        engine = QueryEngine(database)
+        config = ExecutorConfig(mode="process", workers=workers, chunking="affinity")
+        start = time.perf_counter()
+        results = engine.evaluate_many(requests, executor=config)
+        seconds = time.perf_counter() - start
+        same = _snapshot(results) == baseline
+        identical = identical and same
+        report = engine.last_batch_report
+        runs[str(workers)] = {
+            "seconds": seconds,
+            "speedup_vs_serial": serial_seconds / max(seconds, 1e-12),
+            "results_identical": same,
+            "report": report.to_dict(),
+        }
+
+    return {
+        "workload": {
+            "num_objects": NUM_OBJECTS,
+            "stream_length": STREAM_LENGTH,
+            "distinct_queries": NUM_DISTINCT_QUERIES,
+            "k": K,
+            "tau": TAU,
+            "max_iterations": MAX_ITERATIONS,
+            "seed": SEED,
+        },
+        "cpu_count": os.cpu_count(),
+        "serial_seconds": serial_seconds,
+        "runs": runs,
+        "results_identical": identical,
+        "target_speedup_at_4_workers": TARGET_SPEEDUP_AT_4,
+        "note": (
+            "speedup requires physical cores; on machines with fewer than 4 "
+            "CPUs the 4-worker row measures pool overhead, not scaling"
+        ),
+    }
+
+
+def _write_report(report: dict) -> str:
+    path = os.environ.get("BENCH_PARALLEL_JSON", "BENCH_parallel.json")
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=1)
+        handle.write("\n")
+    return path
+
+
+def test_parallel_batch_matches_serial_and_scales():
+    report = run_benchmark()
+    path = _write_report(report)
+    print()
+    print(f"cpus {report['cpu_count']}  serial {report['serial_seconds']:.2f}s")
+    for workers, run in report["runs"].items():
+        print(
+            f"workers={workers}  {run['seconds']:.2f}s  "
+            f"speedup {run['speedup_vs_serial']:.2f}x  "
+            f"identical={run['results_identical']}  -> {path}"
+        )
+    # determinism is unconditional
+    assert report["results_identical"]
+    # scaling is conditional on hardware actually having the cores
+    if (report["cpu_count"] or 1) >= 4:
+        assert (
+            report["runs"]["4"]["speedup_vs_serial"] >= TARGET_SPEEDUP_AT_4
+        ), f"expected >= {TARGET_SPEEDUP_AT_4}x at 4 workers on a >=4-core machine"
+    else:
+        print(
+            f"only {report['cpu_count']} CPU(s) available - "
+            "skipping the speedup assertion (scaling needs real cores)"
+        )
+
+
+if __name__ == "__main__":
+    result = run_benchmark()
+    path = _write_report(result)
+    print(json.dumps(result, indent=1))
+    print(f"wrote {path}")

@@ -98,7 +98,9 @@ from .datasets import (
 )
 from .index import RTree
 from .engine import (
+    BatchReport,
     DominationCountQuery,
+    ExecutorConfig,
     InverseRankingQuery,
     KNNQuery,
     QueryEngine,
@@ -109,7 +111,7 @@ from .engine import (
     RKNNQuery,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     # core
@@ -183,6 +185,8 @@ __all__ = [
     # index
     "RTree",
     # engine
+    "BatchReport",
+    "ExecutorConfig",
     "QueryEngine",
     "RefinementContext",
     "RefinementScheduler",

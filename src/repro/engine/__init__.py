@@ -6,7 +6,9 @@ candidate source → shared refinement context → refinement scheduler →
 result assembly.  :class:`QueryEngine` wires them together; the public
 functions in :mod:`repro.queries` are thin adapters over it, and
 :meth:`QueryEngine.evaluate_many` exposes batch evaluation with shared
-caches across a whole workload.
+caches across a whole workload — serially or, with an
+:class:`ExecutorConfig`, on a pool of worker processes (see
+``engine/executor.py`` for the worker lifecycle and determinism contract).
 """
 
 from .candidates import (
@@ -18,6 +20,7 @@ from .candidates import (
 )
 from .context import CacheStats, RefinementContext
 from .engine import QueryEngine
+from .executor import BatchReport, ChunkStats, ExecutorConfig, partition_requests
 from .requests import (
     DominationCountQuery,
     InverseRankingQuery,
@@ -30,8 +33,11 @@ from .requests import (
 from .scheduler import RefinementScheduler
 
 __all__ = [
+    "BatchReport",
     "CacheStats",
     "CandidateSource",
+    "ChunkStats",
+    "ExecutorConfig",
     "DominationCountQuery",
     "InverseRankingQuery",
     "KNNQuery",
@@ -46,4 +52,5 @@ __all__ = [
     "RTreeCandidateSource",
     "ScanCandidateSource",
     "make_candidate_source",
+    "partition_requests",
 ]

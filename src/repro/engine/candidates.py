@@ -82,6 +82,7 @@ class _DatabaseCandidateSource:
         return len(self.database)
 
     def all_candidates(self, exclude: ExcludeSpec) -> np.ndarray:
+        """Every non-excluded database position, sorted ascending."""
         mask, _ = normalize_exclude(exclude, len(self.database))
         return np.flatnonzero(~mask)
 
@@ -122,12 +123,14 @@ class ScanCandidateSource(_DatabaseCandidateSource):
     def knn_candidates(
         self, query: Rectangle, k: int, p: float, exclude: ExcludeSpec
     ) -> np.ndarray:
+        """Conservative kNN candidates via one vectorised MinDist/MaxDist pass."""
         mask, _ = normalize_exclude(exclude, len(self.database))
         return scan_knn_candidates(self.database.mbrs(), query, k, p=p, exclude=mask)
 
     def range_classify(
         self, query: Rectangle, epsilon: float, p: float, exclude: ExcludeSpec
     ) -> RangeClassification:
+        """Classify all non-excluded objects by exact MinDist/MaxDist."""
         subset = self.all_candidates(exclude)
         return self._classify_subset(subset, subset.shape[0], query, epsilon, p)
 
@@ -145,6 +148,7 @@ class RTreeCandidateSource(_DatabaseCandidateSource):
 
     @property
     def rtree(self) -> RTree:
+        """The underlying R-tree, bulk-loaded on first access when not supplied."""
         if self._rtree is None:
             self._rtree = RTree(self.database.mbrs())
         return self._rtree
@@ -152,12 +156,14 @@ class RTreeCandidateSource(_DatabaseCandidateSource):
     def knn_candidates(
         self, query: Rectangle, k: int, p: float, exclude: ExcludeSpec
     ) -> np.ndarray:
+        """Conservative kNN candidates from a best-first R-tree traversal."""
         _, indices = normalize_exclude(exclude, len(self.database))
         return self.rtree.knn_candidates(query, k, p=p, exclude=indices)
 
     def range_classify(
         self, query: Rectangle, epsilon: float, p: float, exclude: ExcludeSpec
     ) -> RangeClassification:
+        """Classify via an R-tree window query over the epsilon-expanded MBR."""
         mask, _ = normalize_exclude(exclude, len(self.database))
         eligible = int(np.count_nonzero(~mask))
         # A per-dimension expansion of the query MBR by epsilon yields a

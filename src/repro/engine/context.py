@@ -45,6 +45,7 @@ class CacheStats(dict):
         self.misses = 0
 
     def get(self, key, default=None):
+        """Dict lookup that tallies the hit/miss counters as a side effect."""
         value = super().get(key, default)
         if value is default:
             self.misses += 1
@@ -78,6 +79,20 @@ class RefinementContext:
         self.tree_cache: dict[int, DecompositionTree] = {}
         self.pair_bounds_cache = CacheStats()
         self._idca_instances: dict[tuple, IDCA] = {}
+
+    def __reduce__(self):
+        """Pickle as (database, axis_policy) — caches rebuild empty.
+
+        Cached state must never cross a process boundary: decomposition trees
+        are keyed by object identity (meaningless in another process) and
+        pair-bounds columns are keyed by process-unique tree tokens.  Reducing
+        to the constructor arguments makes a context cheap to ship to worker
+        processes — each worker rebuilds its own empty, *local* caches, which
+        is exactly the worker lifecycle the parallel batch executor relies on
+        (see ``engine/executor.py``).  Memoised bounds are deterministic, so
+        rebuilding them locally never changes results.
+        """
+        return (type(self), (self.database, self.axis_policy))
 
     # ------------------------------------------------------------------ #
     # shared resources

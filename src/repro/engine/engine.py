@@ -48,6 +48,12 @@ from ..uncertain import UncertainDatabase
 from ..uncertain.decomposition import AxisPolicy
 from .candidates import CandidateSource, make_candidate_source
 from .context import RefinementContext
+from .executor import (
+    BatchReport,
+    ExecutorConfig,
+    run_chunk_on_engine,
+    run_process_batch,
+)
 from .requests import QueryRequest
 from .scheduler import RefinementScheduler
 
@@ -96,6 +102,9 @@ class QueryEngine:
         self.candidate_source = candidate_source or make_candidate_source(database, rtree)
         self.context = context or RefinementContext(database, axis_policy=axis_policy)
         self.scheduler = scheduler or RefinementScheduler()
+        #: :class:`~repro.engine.executor.BatchReport` of the most recent
+        #: :meth:`evaluate_many` call (``None`` before the first batch).
+        self.last_batch_report: Optional[BatchReport] = None
 
     # ------------------------------------------------------------------ #
     # threshold queries (kNN / RkNN)
@@ -421,13 +430,48 @@ class QueryEngine:
     # ------------------------------------------------------------------ #
     # batch API
     # ------------------------------------------------------------------ #
-    def evaluate_many(self, requests: Sequence[QueryRequest]) -> list:
+    def evaluate_many(
+        self,
+        requests: Sequence[QueryRequest],
+        executor: Optional[ExecutorConfig] = None,
+    ) -> list:
         """Evaluate a heterogeneous batch of query requests.
 
-        Every request runs against this engine's shared refinement context,
-        so decomposition trees and pairwise domination bounds computed for
-        one query are reused by all later queries of the batch.  Results are
-        returned in request order and are identical to evaluating each
-        request on a fresh engine — sharing only removes recomputation.
+        Serially (the default, and ``executor=None`` or any config resolving
+        to ``"serial"``), every request runs against this engine's shared
+        refinement context, so decomposition trees and pairwise domination
+        bounds computed for one query are reused by all later queries of the
+        batch.  With an :class:`~repro.engine.executor.ExecutorConfig`
+        resolving to ``"process"``, the batch is partitioned into chunks and
+        evaluated on a pool of worker processes; each worker receives this
+        engine (pickled once, caches rebuilt empty and worker-local) and the
+        chunk outcomes are merged.
+
+        Results are returned in request order and are identical to
+        evaluating each request on a fresh engine — sharing caches only
+        removes recomputation, and per-query budgets make them independent
+        of worker count and chunking.  :attr:`last_batch_report` holds the
+        merged :class:`~repro.engine.executor.BatchReport` of the call.
         """
-        return [request.run(self) for request in requests]
+        requests = list(requests)
+        if executor is not None and executor.resolve_mode(len(requests)) == "process":
+            results, report = run_process_batch(self, requests, executor)
+            self.last_batch_report = report
+            return results
+        return self._evaluate_serial(requests, executor)
+
+    def _evaluate_serial(
+        self, requests: Sequence[QueryRequest], executor: Optional[ExecutorConfig]
+    ) -> list:
+        """Today's single-process batch path, instrumented as one chunk."""
+        results, chunk_stats = run_chunk_on_engine(self, requests)
+        self.last_batch_report = BatchReport(
+            mode="serial",
+            workers=1,
+            chunking=executor.chunking if executor is not None else "contiguous",
+            chunk_size=executor.chunk_size if executor is not None else None,
+            num_requests=len(requests),
+            elapsed_seconds=chunk_stats.seconds,
+            chunks=(chunk_stats,),
+        )
+        return results

@@ -1,0 +1,462 @@
+"""Parallel batch execution behind :meth:`QueryEngine.evaluate_many`.
+
+Layer contract: everything in this module sits *above* the engine — it never
+reaches into refinement state.  A batch of :class:`~repro.engine.requests`
+objects is partitioned into chunks, every chunk is evaluated by calling
+``request.run(engine)`` exactly as the serial path does, and the per-chunk
+outcomes are merged into a :class:`BatchReport`.  Three properties make this
+safe to parallelise:
+
+* **requests are independent** — no request reads another request's result;
+* **shared caches never change results** — the refinement context only
+  removes recomputation (the PR-1 invariant asserted by the seeded
+  equivalence suite), so it does not matter which worker's cache serves a
+  candidate;
+* **budgets are per query** — the scheduler's ``global_iteration_budget``
+  applies per :meth:`~RefinementScheduler.refine` call, never across queries,
+  so chunk composition cannot starve or favour a query.
+
+Together these give the determinism guarantee documented in
+``docs/architecture.md``: ``evaluate_many`` returns bit-identical results for
+every ``workers`` / ``chunk_size`` / chunking-strategy combination, including
+the serial path.
+
+Worker lifecycle: the parent pickles the engine **once**; every worker
+process receives that payload through the pool initializer, unpickles it, and
+thereby rebuilds an *empty* worker-local :class:`RefinementContext` (see
+``RefinementContext.__reduce__``).  Workers keep their engine across chunks,
+so cache warm-up is paid once per worker, not once per chunk — which is why
+the ``affinity`` chunking strategy routes requests that share a query object
+into the same *chunk*.  Chunks are dispatched to whichever worker is free,
+so locality is guaranteed within a chunk and best-effort across chunks; with
+``chunk_size=None`` (the default) each affinity bucket is exactly one chunk
+and therefore does run on a single worker.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+import pickle
+import sys
+import time
+from collections import Counter
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Literal, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .engine import QueryEngine
+    from .requests import QueryRequest
+
+__all__ = [
+    "BatchReport",
+    "ChunkStats",
+    "ExecutorConfig",
+    "partition_requests",
+    "result_iteration_stats",
+    "run_chunk_on_engine",
+]
+
+ExecutionMode = Literal["auto", "serial", "process"]
+ChunkingStrategy = Literal["affinity", "contiguous"]
+
+
+@dataclass(frozen=True)
+class ExecutorConfig:
+    """How :meth:`QueryEngine.evaluate_many` should execute a batch.
+
+    Parameters
+    ----------
+    mode:
+        ``"serial"`` forces today's single-process path (bit-for-bit the
+        behaviour of calling ``evaluate_many`` without a config).
+        ``"process"`` forces the process pool even for one worker — useful to
+        exercise the pickling path.  ``"auto"`` (default) picks the pool when
+        ``workers > 1`` and the batch has more than one request.
+    workers:
+        Number of worker processes.  ``workers=1`` under ``"auto"`` is the
+        serial path.
+    chunk_size:
+        Optional cap on requests per chunk.  ``None`` derives one chunk per
+        worker (contiguous) or one chunk per affinity bucket (affinity).
+        Results never depend on this value — it only trades scheduling
+        granularity against per-chunk overhead.
+    chunking:
+        ``"affinity"`` (default) groups requests that share a query object
+        into the same chunk so a worker's local caches serve the repeats;
+        ``"contiguous"`` splits the batch in request order.
+    start_method:
+        Optional :mod:`multiprocessing` start method.  ``None`` prefers
+        ``"fork"`` when the platform offers it (cheapest on Linux) and falls
+        back to the platform default otherwise.  All methods receive the same
+        explicitly pickled engine payload, so cache state is identical —
+        empty — regardless of the start method.
+    """
+
+    mode: ExecutionMode = "auto"
+    workers: int = 1
+    chunk_size: Optional[int] = None
+    chunking: ChunkingStrategy = "affinity"
+    start_method: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("auto", "serial", "process"):
+            raise ValueError(f"unknown execution mode {self.mode!r}")
+        if self.chunking not in ("affinity", "contiguous"):
+            raise ValueError(f"unknown chunking strategy {self.chunking!r}")
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError("chunk_size must be at least 1 when given")
+
+    def resolve_mode(self, num_requests: int) -> str:
+        """Concrete execution mode for a batch of ``num_requests``."""
+        if self.mode == "serial":
+            return "serial"
+        if self.mode == "process":
+            return "process"
+        if self.workers > 1 and num_requests > 1:
+            return "process"
+        return "serial"
+
+
+@dataclass(frozen=True)
+class ChunkStats:
+    """Execution statistics of one chunk, measured inside its worker.
+
+    Cache counters are deltas over the chunk (a worker's context persists
+    across the chunks it executes); ``trees`` is the occupancy of the
+    worker's tree cache *after* the chunk, i.e. how much decomposition state
+    the worker has accumulated so far.
+    """
+
+    chunk: int
+    size: int
+    seconds: float
+    pid: int
+    kinds: dict[str, int]
+    scheduler_steps: int
+    result_iterations: int
+    result_seconds: float
+    trees: int
+    pair_bounds_hits: int
+    pair_bounds_misses: int
+
+
+@dataclass(frozen=True)
+class BatchReport:
+    """Merged execution report of one ``evaluate_many`` call.
+
+    One :class:`ChunkStats` per executed chunk (the serial path reports the
+    whole batch as a single chunk); the aggregate properties merge the
+    per-worker refinement-iteration and cache counters so a batch can be
+    profiled without reaching into worker processes.
+    """
+
+    mode: str
+    workers: int
+    chunking: str
+    chunk_size: Optional[int]
+    num_requests: int
+    elapsed_seconds: float
+    chunks: tuple[ChunkStats, ...] = field(default_factory=tuple)
+
+    @property
+    def num_chunks(self) -> int:
+        """Number of chunks the batch was partitioned into."""
+        return len(self.chunks)
+
+    @property
+    def worker_pids(self) -> tuple[int, ...]:
+        """Distinct worker process ids that executed chunks, sorted."""
+        return tuple(sorted({stats.pid for stats in self.chunks}))
+
+    @property
+    def scheduler_steps(self) -> int:
+        """Total refinement iterations spent across all workers."""
+        return sum(stats.scheduler_steps for stats in self.chunks)
+
+    @property
+    def result_iterations(self) -> int:
+        """Refinement iterations reported by the results, all workers merged."""
+        return sum(stats.result_iterations for stats in self.chunks)
+
+    @property
+    def result_seconds(self) -> float:
+        """Per-query evaluation seconds summed over all results and workers.
+
+        In process mode this exceeds :attr:`elapsed_seconds` when workers
+        overlap — the ratio is the effective parallelism of the batch.
+        """
+        return sum(stats.result_seconds for stats in self.chunks)
+
+    @property
+    def pair_bounds_hits(self) -> int:
+        """Pair-bounds cache hits summed over all workers."""
+        return sum(stats.pair_bounds_hits for stats in self.chunks)
+
+    @property
+    def pair_bounds_misses(self) -> int:
+        """Pair-bounds cache misses summed over all workers."""
+        return sum(stats.pair_bounds_misses for stats in self.chunks)
+
+    @property
+    def kinds(self) -> dict[str, int]:
+        """Request counts per query kind, merged over all chunks."""
+        merged: Counter[str] = Counter()
+        for stats in self.chunks:
+            merged.update(stats.kinds)
+        return dict(merged)
+
+    @property
+    def busiest_chunk_seconds(self) -> float:
+        """Wall-clock of the slowest chunk — the parallel critical path."""
+        return max((stats.seconds for stats in self.chunks), default=0.0)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable summary (used by the parallel benchmark)."""
+        return {
+            "mode": self.mode,
+            "workers": self.workers,
+            "chunking": self.chunking,
+            "chunk_size": self.chunk_size,
+            "num_requests": self.num_requests,
+            "num_chunks": self.num_chunks,
+            "num_worker_pids": len(self.worker_pids),
+            "elapsed_seconds": self.elapsed_seconds,
+            "busiest_chunk_seconds": self.busiest_chunk_seconds,
+            "scheduler_steps": self.scheduler_steps,
+            "result_iterations": self.result_iterations,
+            "result_seconds": self.result_seconds,
+            "pair_bounds_hits": self.pair_bounds_hits,
+            "pair_bounds_misses": self.pair_bounds_misses,
+            "kinds": self.kinds,
+            "chunk_sizes": [stats.size for stats in self.chunks],
+        }
+
+
+# --------------------------------------------------------------------- #
+# batch partitioning
+# --------------------------------------------------------------------- #
+def _split(indices: list[int], chunk_size: Optional[int]) -> list[list[int]]:
+    if not indices:
+        return []
+    if chunk_size is None:
+        return [indices]
+    return [indices[i : i + chunk_size] for i in range(0, len(indices), chunk_size)]
+
+
+def partition_requests(
+    requests: Sequence["QueryRequest"],
+    workers: int,
+    chunk_size: Optional[int] = None,
+    chunking: ChunkingStrategy = "affinity",
+) -> list[list[int]]:
+    """Partition a batch into chunks of request indices.
+
+    Every index appears in exactly one chunk, so reassembling chunk results
+    by index reproduces request order regardless of which worker ran which
+    chunk.  ``"contiguous"`` splits the batch in order (default chunk size:
+    one chunk per worker).  ``"affinity"`` buckets requests by
+    :meth:`~repro.engine.requests.KNNQuery.affinity_key` — requests that
+    share a query object land in the same bucket, largest buckets are
+    assigned to the least-loaded of ``workers`` buckets first — so a
+    worker's local caches serve the repeated queries of a production stream.
+    The assignment is a deterministic function of the batch alone.
+    """
+    if workers < 1:
+        raise ValueError("workers must be at least 1")
+    if chunk_size is not None and chunk_size < 1:
+        raise ValueError("chunk_size must be at least 1 when given")
+    if chunking not in ("affinity", "contiguous"):
+        raise ValueError(f"unknown chunking strategy {chunking!r}")
+    indices = list(range(len(requests)))
+    if not indices:
+        return []
+    if chunking == "contiguous":
+        size = chunk_size or math.ceil(len(indices) / workers)
+        return _split(indices, size)
+
+    groups: dict[object, list[int]] = {}
+    for index, request in enumerate(requests):
+        groups.setdefault(request.affinity_key(), []).append(index)
+    # deterministic greedy assignment: largest group first, ties by first
+    # appearance, into the currently lightest bucket
+    ordered = sorted(groups.values(), key=lambda group: (-len(group), group[0]))
+    buckets: list[list[int]] = [[] for _ in range(min(workers, len(ordered)))]
+    loads = [0] * len(buckets)
+    for group in ordered:
+        target = loads.index(min(loads))
+        buckets[target].extend(group)
+        loads[target] += len(group)
+    chunks: list[list[int]] = []
+    for bucket in buckets:
+        bucket.sort()
+        chunks.extend(_split(bucket, chunk_size))
+    return chunks
+
+
+# --------------------------------------------------------------------- #
+# worker side
+# --------------------------------------------------------------------- #
+# One engine per worker process, installed by the pool initializer.  The
+# payload is pickled by the parent exactly once; unpickling rebuilds the
+# refinement context with empty worker-local caches (RefinementContext
+# reduces to its constructor arguments) and a fresh scheduler accounting
+# state (RefinementScheduler reduces to its configuration).
+_WORKER_ENGINE: Optional["QueryEngine"] = None
+
+
+def result_iteration_stats(results: Sequence) -> tuple[int, float]:
+    """Merge the per-result ``IterationStats``-level counters of a chunk.
+
+    Returns ``(refinement_iterations, seconds)`` summed over every result:
+    threshold results contribute the iteration counts of their matches and
+    their per-query wall-clock, ranking results the iteration counts of
+    their entries, and IDCA-backed results the per-iteration statistics of
+    the underlying :class:`~repro.core.idca.IDCAResult`.
+    """
+    iterations = 0
+    seconds = 0.0
+    for result in results:
+        idca_result = getattr(result, "idca_result", None)
+        if idca_result is None and hasattr(result, "iterations") and hasattr(
+            result, "total_seconds"
+        ):
+            idca_result = result  # a raw IDCAResult from DominationCountQuery
+        if idca_result is not None:
+            iterations += idca_result.num_iterations
+            seconds += idca_result.total_seconds
+            continue
+        if hasattr(result, "matches"):
+            iterations += sum(
+                m.iterations
+                for bucket in (result.matches, result.undecided, result.rejected)
+                for m in bucket
+            )
+            seconds += result.elapsed_seconds
+        elif hasattr(result, "ranking"):
+            iterations += sum(entry.iterations for entry in result.ranking)
+            seconds += result.elapsed_seconds
+    return iterations, seconds
+
+
+def _initialise_worker(payload: bytes) -> None:
+    """Pool initializer: unpack the engine shipped by the parent process."""
+    global _WORKER_ENGINE
+    _WORKER_ENGINE = pickle.loads(payload)
+
+
+def run_chunk_on_engine(
+    engine: "QueryEngine", requests: Sequence["QueryRequest"], chunk_index: int = 0
+) -> tuple[list, ChunkStats]:
+    """Evaluate ``requests`` on ``engine`` and measure them as one chunk.
+
+    Runs ``request.run(engine)`` in chunk order and records the chunk's
+    wall-clock plus the deltas of the engine's cache and scheduler counters.
+    This is the single measurement path: the serial batch mode calls it in
+    the parent process and :func:`_run_chunk` calls it inside each worker,
+    so the two execution modes always report comparable :class:`ChunkStats`.
+    """
+    before = engine.context.stats()
+    steps_before = engine.scheduler.steps_taken
+    start = time.perf_counter()
+    results = [request.run(engine) for request in requests]
+    seconds = time.perf_counter() - start
+    after = engine.context.stats()
+    result_iterations, result_seconds = result_iteration_stats(results)
+    stats = ChunkStats(
+        chunk=chunk_index,
+        size=len(requests),
+        seconds=seconds,
+        pid=os.getpid(),
+        kinds=dict(Counter(request.kind for request in requests)),
+        scheduler_steps=engine.scheduler.steps_taken - steps_before,
+        result_iterations=result_iterations,
+        result_seconds=result_seconds,
+        trees=after["trees"],
+        pair_bounds_hits=after["pair_bounds_hits"] - before["pair_bounds_hits"],
+        pair_bounds_misses=after["pair_bounds_misses"] - before["pair_bounds_misses"],
+    )
+    return results, stats
+
+
+def _run_chunk(
+    chunk_index: int, requests: Sequence["QueryRequest"]
+) -> tuple[int, list, ChunkStats]:
+    """Evaluate one chunk on the worker-local engine; returns chunk stats."""
+    engine = _WORKER_ENGINE
+    if engine is None:  # pragma: no cover - defensive: initializer not run
+        raise RuntimeError("worker engine was never initialised")
+    results, stats = run_chunk_on_engine(engine, requests, chunk_index)
+    return chunk_index, results, stats
+
+
+# --------------------------------------------------------------------- #
+# parent side
+# --------------------------------------------------------------------- #
+def _pool_context(start_method: Optional[str]) -> multiprocessing.context.BaseContext:
+    """Multiprocessing context for the pool.
+
+    ``fork`` is preferred only on Linux, where it is both safe and by far
+    the cheapest; macOS deliberately defaulted to ``spawn`` in CPython 3.8
+    because forking a process that has initialised system frameworks is
+    unsafe, so every other platform keeps its default start method.
+    """
+    if start_method is None:
+        if sys.platform == "linux" and "fork" in multiprocessing.get_all_start_methods():
+            start_method = "fork"
+        else:
+            return multiprocessing.get_context()
+    return multiprocessing.get_context(start_method)
+
+
+def run_process_batch(
+    engine: "QueryEngine",
+    requests: Sequence["QueryRequest"],
+    config: ExecutorConfig,
+) -> tuple[list, BatchReport]:
+    """Evaluate ``requests`` on a process pool and merge the chunk reports.
+
+    The engine is pickled once and shipped to every worker through the pool
+    initializer; chunks are dispatched to whichever worker is free, and the
+    chunk results are reassembled into request order by index.  Worker
+    scheduling therefore affects only *where* cache warm-up happens, never
+    the results.
+    """
+    chunks = partition_requests(
+        requests, config.workers, config.chunk_size, config.chunking
+    )
+    payload = pickle.dumps(engine)
+    start = time.perf_counter()
+    results: list = [None] * len(requests)
+    chunk_stats: list[ChunkStats] = []
+    max_workers = max(1, min(config.workers, len(chunks)))
+    with ProcessPoolExecutor(
+        max_workers=max_workers,
+        mp_context=_pool_context(config.start_method),
+        initializer=_initialise_worker,
+        initargs=(payload,),
+    ) as pool:
+        futures = [
+            pool.submit(_run_chunk, index, [requests[i] for i in chunk])
+            for index, chunk in enumerate(chunks)
+        ]
+        for future in futures:
+            index, chunk_results, stats = future.result()
+            for position, result in zip(chunks[index], chunk_results):
+                results[position] = result
+            chunk_stats.append(stats)
+    chunk_stats.sort(key=lambda stats: stats.chunk)
+    report = BatchReport(
+        mode="process",
+        workers=config.workers,
+        chunking=config.chunking,
+        chunk_size=config.chunk_size,
+        num_requests=len(requests),
+        elapsed_seconds=time.perf_counter() - start,
+        chunks=tuple(chunk_stats),
+    )
+    return results, report

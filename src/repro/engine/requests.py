@@ -4,19 +4,42 @@ Each request dataclass mirrors the keyword surface of the corresponding
 :class:`~repro.engine.engine.QueryEngine` method; ``evaluate_many`` executes a
 heterogeneous sequence of them against one shared refinement context.  The
 requests are plain data so workloads can be built up front (or generated) and
-shipped to the engine in one call.
+shipped to the engine in one call — or, with an
+:class:`~repro.engine.executor.ExecutorConfig`, pickled to worker processes.
+Every request carries a ``kind`` tag (used by the batch report) and an
+``affinity_key`` (used by the affinity chunking strategy to keep requests
+that share cacheable state in the same chunk — with the default unsplit
+chunking, on the same worker).  Treat requests as immutable
+inputs: under process execution a worker runs a *copy*, so side effects on a
+request's ``stop`` criterion are not reflected in the caller's instance —
+read decisions from the returned results instead.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterable, Optional, Sequence, Union
+from typing import TYPE_CHECKING, ClassVar, Iterable, Optional, Sequence, Union
+
+import numpy as np
 
 from ..core import StopCriterion
 from ..queries.common import ObjectSpec
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from .engine import QueryEngine
+
+
+def _spec_key(spec: "ObjectSpec") -> tuple:
+    """Stable partitioning key of an object-or-index specification.
+
+    Database positions key by value; ad-hoc objects key by identity (two
+    requests share an affinity bucket only when they reference the *same*
+    object, which is when worker-local caches can serve both).  The key is
+    only ever used in the parent process, before chunks are shipped.
+    """
+    if isinstance(spec, (int, np.integer)):
+        return ("index", int(spec))
+    return ("object", id(spec))
 
 __all__ = [
     "KNNQuery",
@@ -33,13 +56,20 @@ __all__ = [
 class KNNQuery:
     """Probabilistic threshold kNN request (Corollary 4)."""
 
+    kind: ClassVar[str] = "knn"
+
     query: ObjectSpec
     k: int
     tau: float
     max_iterations: int = 10
     strict: bool = False
 
+    def affinity_key(self) -> tuple:
+        """Requests over the same query object share a worker's caches."""
+        return _spec_key(self.query)
+
     def run(self, engine: "QueryEngine"):
+        """Execute this request against ``engine`` (engine-internal hook)."""
         return engine.knn(
             self.query,
             k=self.k,
@@ -53,6 +83,8 @@ class KNNQuery:
 class RKNNQuery:
     """Probabilistic threshold reverse-kNN request (Corollary 5)."""
 
+    kind: ClassVar[str] = "rknn"
+
     query: ObjectSpec
     k: int
     tau: float
@@ -60,7 +92,12 @@ class RKNNQuery:
     candidate_indices: Optional[Iterable[int]] = None
     strict: bool = False
 
+    def affinity_key(self) -> tuple:
+        """Requests over the same query object share a worker's caches."""
+        return _spec_key(self.query)
+
     def run(self, engine: "QueryEngine"):
+        """Execute this request against ``engine`` (engine-internal hook)."""
         return engine.rknn(
             self.query,
             k=self.k,
@@ -75,13 +112,20 @@ class RKNNQuery:
 class RangeQuery:
     """Probabilistic threshold epsilon-range request."""
 
+    kind: ClassVar[str] = "range"
+
     query: ObjectSpec
     epsilon: float
     tau: float
     max_depth: int = 6
     strict: bool = False
 
+    def affinity_key(self) -> tuple:
+        """Requests over the same query object share a worker's caches."""
+        return _spec_key(self.query)
+
     def run(self, engine: "QueryEngine"):
+        """Execute this request against ``engine`` (engine-internal hook)."""
         return engine.range(
             self.query,
             epsilon=self.epsilon,
@@ -95,12 +139,19 @@ class RangeQuery:
 class RankingQuery:
     """Expected-rank similarity ranking request (Corollary 6)."""
 
+    kind: ClassVar[str] = "ranking"
+
     query: ObjectSpec
     max_iterations: int = 6
     uncertainty_budget: float = 0.25
     candidate_indices: Optional[Iterable[int]] = None
 
+    def affinity_key(self) -> tuple:
+        """Requests over the same query object share a worker's caches."""
+        return _spec_key(self.query)
+
     def run(self, engine: "QueryEngine"):
+        """Execute this request against ``engine`` (engine-internal hook)."""
         return engine.ranking(
             self.query,
             max_iterations=self.max_iterations,
@@ -113,6 +164,8 @@ class RankingQuery:
 class InverseRankingQuery:
     """Rank-distribution (inverse ranking) request (Corollary 3)."""
 
+    kind: ClassVar[str] = "inverse_ranking"
+
     target: ObjectSpec
     reference: ObjectSpec
     max_iterations: int = 10
@@ -120,7 +173,14 @@ class InverseRankingQuery:
     stop: Optional[StopCriterion] = None
     exclude_indices: Optional[Sequence[int]] = None
 
+    def affinity_key(self) -> tuple:
+        """Group by reference: experiment workloads rank many targets
+        against one recurring reference object, whose decomposition dominates
+        the per-request cache footprint."""
+        return _spec_key(self.reference)
+
     def run(self, engine: "QueryEngine"):
+        """Execute this request against ``engine`` (engine-internal hook)."""
         return engine.inverse_ranking(
             self.target,
             self.reference,
@@ -141,6 +201,8 @@ class DominationCountQuery:
     own instance.
     """
 
+    kind: ClassVar[str] = "domination_count"
+
     target: ObjectSpec
     reference: ObjectSpec
     stop: Optional[StopCriterion] = None
@@ -148,7 +210,14 @@ class DominationCountQuery:
     exclude_indices: Optional[Sequence[int]] = None
     k_cap: Optional[int] = field(default=None)
 
+    def affinity_key(self) -> tuple:
+        """Group by reference: experiment workloads rank many targets
+        against one recurring reference object, whose decomposition dominates
+        the per-request cache footprint."""
+        return _spec_key(self.reference)
+
     def run(self, engine: "QueryEngine"):
+        """Execute this request against ``engine`` (engine-internal hook)."""
         return engine.domination_count(
             self.target,
             self.reference,

@@ -40,12 +40,28 @@ class RefinementScheduler:
         across all runs of one :meth:`refine` call.  ``None`` (the default)
         lets every run exhaust its own per-candidate budget, which keeps
         results identical to independent evaluation.
+
+    Notes
+    -----
+    The budget is scoped to a single :meth:`refine` call — one query — never
+    accumulated across queries.  This per-query scoping is what lets the
+    parallel batch executor split a batch across workers without changing
+    results: a query receives the same refinement effort no matter which
+    chunk it lands in.  :attr:`steps_taken` accumulates the iterations this
+    scheduler instance has driven (all :meth:`refine` calls combined) for the
+    batch report; pickling a scheduler ships only its configuration, so every
+    worker's accounting starts at zero and stays chunk-local.
     """
 
     def __init__(self, global_iteration_budget: Optional[int] = None):
         if global_iteration_budget is not None and global_iteration_budget < 0:
             raise ValueError("global_iteration_budget must be non-negative")
         self.global_iteration_budget = global_iteration_budget
+        self.steps_taken = 0
+
+    def __reduce__(self):
+        """Pickle as configuration only — accounting never crosses processes."""
+        return (type(self), (self.global_iteration_budget,))
 
     def refine(
         self,
@@ -82,4 +98,5 @@ class RefinementScheduler:
                     on_finished(run)
             else:
                 heapq.heappush(heap, (-priority(run), next(counter), run))
+        self.steps_taken += steps
         return steps

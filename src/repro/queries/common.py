@@ -9,7 +9,13 @@ import numpy as np
 
 from ..uncertain import UncertainDatabase, UncertainObject
 
-__all__ = ["ObjectSpec", "resolve_object", "ProbabilisticMatch", "ThresholdQueryResult"]
+__all__ = [
+    "ObjectSpec",
+    "resolve_object",
+    "ensure_engine_matches",
+    "ProbabilisticMatch",
+    "ThresholdQueryResult",
+]
 
 ObjectSpec = Union[UncertainObject, int, np.integer]
 
@@ -29,6 +35,36 @@ def resolve_object(
         exclude.add(index)
         return database[index]
     return spec
+
+
+def ensure_engine_matches(
+    engine,
+    database: UncertainDatabase,
+    p: Optional[float] = None,
+    criterion: Optional[str] = None,
+    rtree=None,
+) -> None:
+    """Validate that a caller-supplied engine agrees with the adapter args.
+
+    The adapters evaluate through the engine's own configuration, so any
+    explicitly passed ``p`` / ``criterion`` / ``rtree`` that contradicts it
+    would be silently ignored — raise instead, like the database check.
+    """
+    if engine.database is not database:
+        raise ValueError("the supplied engine was built over a different database")
+    if p is not None and engine.p != p:
+        raise ValueError(
+            f"the supplied engine uses p={engine.p}, but p={p} was requested"
+        )
+    if criterion is not None and engine.criterion != criterion:
+        raise ValueError(
+            f"the supplied engine uses criterion={engine.criterion!r}, "
+            f"but criterion={criterion!r} was requested"
+        )
+    if rtree is not None:
+        raise ValueError(
+            "pass rtree when constructing the engine, not alongside engine="
+        )
 
 
 @dataclass(frozen=True)

@@ -14,14 +14,17 @@ probability bounds.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional, Sequence, TYPE_CHECKING
 
 import numpy as np
 
 from ..core import IDCA, IDCAResult, StopCriterion
 from ..geometry import DominationCriterion
 from ..uncertain import UncertainDatabase
-from .common import ObjectSpec
+from .common import ObjectSpec, ensure_engine_matches
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..engine import QueryEngine
 
 __all__ = ["RankDistribution", "probabilistic_inverse_ranking"]
 
@@ -72,13 +75,14 @@ def probabilistic_inverse_ranking(
     database: UncertainDatabase,
     target: ObjectSpec,
     reference: ObjectSpec,
-    p: float = 2.0,
-    criterion: DominationCriterion = "optimal",
+    p: Optional[float] = None,
+    criterion: Optional[DominationCriterion] = None,
     max_iterations: int = 10,
     uncertainty_budget: Optional[float] = None,
     stop: Optional[StopCriterion] = None,
     idca: Optional[IDCA] = None,
     exclude_indices: Optional[Sequence[int]] = None,
+    engine: Optional["QueryEngine"] = None,
 ) -> RankDistribution:
     """Compute the bounded rank distribution of ``target`` w.r.t. ``reference``.
 
@@ -89,10 +93,25 @@ def probabilistic_inverse_ranking(
         of the domination-count bounds drops below this budget.
     stop:
         Explicit stop criterion (overrides ``uncertainty_budget``).
+    engine:
+        Optional pre-built :class:`~repro.engine.QueryEngine` to evaluate
+        against.  Passing the same engine to repeated calls shares its
+        refinement context (decomposition trees, memoised domination bounds)
+        across queries, exactly like the batch API; it must have been built
+        over ``database``, and any *explicitly passed* ``p`` / ``criterion``
+        must agree with it (left at their defaults, the engine's own
+        configuration is used), otherwise a ``ValueError`` is raised.
     """
     from ..engine import QueryEngine
 
-    engine = QueryEngine(database, p=p, criterion=criterion)
+    if engine is None:
+        engine = QueryEngine(
+            database,
+            p=2.0 if p is None else p,
+            criterion=criterion if criterion is not None else "optimal",
+        )
+    else:
+        ensure_engine_matches(engine, database, p=p, criterion=criterion)
     return engine.inverse_ranking(
         target,
         reference,

@@ -16,13 +16,16 @@ still widest.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, TYPE_CHECKING
 
 from ..core import IDCA
 from ..geometry import DominationCriterion
 from ..index import RTree
 from ..uncertain import UncertainDatabase
-from .common import ObjectSpec, ThresholdQueryResult
+from .common import ObjectSpec, ThresholdQueryResult, ensure_engine_matches
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..engine import QueryEngine
 
 __all__ = ["probabilistic_knn_threshold"]
 
@@ -32,12 +35,13 @@ def probabilistic_knn_threshold(
     query: ObjectSpec,
     k: int,
     tau: float,
-    p: float = 2.0,
-    criterion: DominationCriterion = "optimal",
+    p: Optional[float] = None,
+    criterion: Optional[DominationCriterion] = None,
     max_iterations: int = 10,
     idca: Optional[IDCA] = None,
     rtree: Optional[RTree] = None,
     strict: bool = False,
+    engine: Optional["QueryEngine"] = None,
 ) -> ThresholdQueryResult:
     """Evaluate a probabilistic threshold kNN query.
 
@@ -62,6 +66,14 @@ def probabilistic_knn_threshold(
         instead of the vectorised linear scan.
     strict:
         Require ``P > tau`` instead of ``P >= tau``.
+    engine:
+        Optional pre-built :class:`~repro.engine.QueryEngine` to evaluate
+        against.  Passing the same engine to repeated calls shares its
+        refinement context (decomposition trees, memoised domination bounds)
+        across queries, exactly like the batch API; it must have been built
+        over ``database``, and any *explicitly passed* ``p`` / ``criterion``
+        must agree with it (left at their defaults, the engine's own
+        configuration is used), otherwise a ``ValueError`` is raised.
 
     Returns
     -------
@@ -69,7 +81,15 @@ def probabilistic_knn_threshold(
     """
     from ..engine import QueryEngine
 
-    engine = QueryEngine(database, p=p, criterion=criterion, rtree=rtree)
+    if engine is None:
+        engine = QueryEngine(
+            database,
+            p=2.0 if p is None else p,
+            criterion=criterion if criterion is not None else "optimal",
+            rtree=rtree,
+        )
+    else:
+        ensure_engine_matches(engine, database, p=p, criterion=criterion, rtree=rtree)
     return engine.knn(
         query,
         k=k,

@@ -14,12 +14,15 @@ progressive probability bounds.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, TYPE_CHECKING
 
 from ..geometry import max_dist_arrays, min_dist_arrays
 from ..uncertain import DecompositionTree, UncertainDatabase
 from ..uncertain.decomposition import AxisPolicy
-from .common import ObjectSpec, ThresholdQueryResult
+from .common import ObjectSpec, ThresholdQueryResult, ensure_engine_matches
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..engine import QueryEngine
 
 __all__ = ["probability_within_range", "probabilistic_range_query"]
 
@@ -69,9 +72,10 @@ def probabilistic_range_query(
     query: ObjectSpec,
     epsilon: float,
     tau: float,
-    p: float = 2.0,
+    p: Optional[float] = None,
     max_depth: int = 6,
     strict: bool = False,
+    engine: Optional["QueryEngine"] = None,
 ) -> ThresholdQueryResult:
     """Evaluate a probabilistic threshold range query.
 
@@ -83,5 +87,8 @@ def probabilistic_range_query(
     """
     from ..engine import QueryEngine
 
-    engine = QueryEngine(database, p=p)
+    if engine is None:
+        engine = QueryEngine(database, p=2.0 if p is None else p)
+    else:
+        ensure_engine_matches(engine, database, p=p)
     return engine.range(query, epsilon=epsilon, tau=tau, max_depth=max_depth, strict=strict)

@@ -10,12 +10,15 @@ so callers can detect ties that the bounds cannot yet separate.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from typing import Iterable, Optional, TYPE_CHECKING
 
 from ..core import IDCA
 from ..geometry import DominationCriterion
 from ..uncertain import UncertainDatabase
-from .common import ObjectSpec
+from .common import ObjectSpec, ensure_engine_matches
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..engine import QueryEngine
 
 __all__ = ["RankedObject", "RankingResult", "expected_rank_ranking"]
 
@@ -59,12 +62,13 @@ class RankingResult:
 def expected_rank_ranking(
     database: UncertainDatabase,
     query: ObjectSpec,
-    p: float = 2.0,
-    criterion: DominationCriterion = "optimal",
+    p: Optional[float] = None,
+    criterion: Optional[DominationCriterion] = None,
     max_iterations: int = 6,
     uncertainty_budget: float = 0.25,
     idca: Optional[IDCA] = None,
     candidate_indices: Optional[Iterable[int]] = None,
+    engine: Optional["QueryEngine"] = None,
 ) -> RankingResult:
     """Rank database objects by their expected rank w.r.t. ``query``.
 
@@ -76,10 +80,25 @@ def expected_rank_ranking(
         when ``max_iterations`` is reached.
     candidate_indices:
         Optional subset of database positions to rank; defaults to all.
+    engine:
+        Optional pre-built :class:`~repro.engine.QueryEngine` to evaluate
+        against.  Passing the same engine to repeated calls shares its
+        refinement context (decomposition trees, memoised domination bounds)
+        across queries, exactly like the batch API; it must have been built
+        over ``database``, and any *explicitly passed* ``p`` / ``criterion``
+        must agree with it (left at their defaults, the engine's own
+        configuration is used), otherwise a ``ValueError`` is raised.
     """
     from ..engine import QueryEngine
 
-    engine = QueryEngine(database, p=p, criterion=criterion)
+    if engine is None:
+        engine = QueryEngine(
+            database,
+            p=2.0 if p is None else p,
+            criterion=criterion if criterion is not None else "optimal",
+        )
+    else:
+        ensure_engine_matches(engine, database, p=p, criterion=criterion)
     return engine.ranking(
         query,
         max_iterations=max_iterations,

@@ -14,12 +14,15 @@ Note the swapped roles compared to the kNN query: the query object is the
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Iterable, Optional, TYPE_CHECKING
 
 from ..core import IDCA
 from ..geometry import DominationCriterion
 from ..uncertain import UncertainDatabase
-from .common import ObjectSpec, ThresholdQueryResult
+from .common import ObjectSpec, ThresholdQueryResult, ensure_engine_matches
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..engine import QueryEngine
 
 __all__ = ["probabilistic_rknn_threshold"]
 
@@ -29,12 +32,13 @@ def probabilistic_rknn_threshold(
     query: ObjectSpec,
     k: int,
     tau: float,
-    p: float = 2.0,
-    criterion: DominationCriterion = "optimal",
+    p: Optional[float] = None,
+    criterion: Optional[DominationCriterion] = None,
     max_iterations: int = 10,
     idca: Optional[IDCA] = None,
     candidate_indices: Optional[Iterable[int]] = None,
     strict: bool = False,
+    engine: Optional["QueryEngine"] = None,
 ) -> ThresholdQueryResult:
     """Evaluate a probabilistic threshold reverse kNN query.
 
@@ -50,10 +54,25 @@ def probabilistic_rknn_threshold(
     candidate_indices:
         Optional subset of database positions to evaluate (e.g. produced by an
         application-specific filter); defaults to the full database.
+    engine:
+        Optional pre-built :class:`~repro.engine.QueryEngine` to evaluate
+        against.  Passing the same engine to repeated calls shares its
+        refinement context (decomposition trees, memoised domination bounds)
+        across queries, exactly like the batch API; it must have been built
+        over ``database``, and any *explicitly passed* ``p`` / ``criterion``
+        must agree with it (left at their defaults, the engine's own
+        configuration is used), otherwise a ``ValueError`` is raised.
     """
     from ..engine import QueryEngine
 
-    engine = QueryEngine(database, p=p, criterion=criterion)
+    if engine is None:
+        engine = QueryEngine(
+            database,
+            p=2.0 if p is None else p,
+            criterion=criterion if criterion is not None else "optimal",
+        )
+    else:
+        ensure_engine_matches(engine, database, p=p, criterion=criterion)
     return engine.rknn(
         query,
         k=k,

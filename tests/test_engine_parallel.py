@@ -1,0 +1,300 @@
+"""Parallel batch execution: determinism, partitioning, and reporting.
+
+The contract under test (``repro/engine/executor.py``): for any worker
+count, chunk size and chunking strategy, ``QueryEngine.evaluate_many``
+returns results bit-identical to the serial shared-cache path — which is
+itself pinned to the seed behaviour by ``tests/test_engine_equivalence.py``.
+The heterogeneous batch here mirrors the seeded equivalence scenarios, so a
+pass chains all the way back to the pre-engine implementations.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.datasets import random_reference_object, uniform_rectangle_database
+from repro.engine import (
+    BatchReport,
+    ExecutorConfig,
+    InverseRankingQuery,
+    KNNQuery,
+    QueryEngine,
+    RangeQuery,
+    RankingQuery,
+    RefinementContext,
+    RefinementScheduler,
+    RKNNQuery,
+    partition_requests,
+)
+
+
+@pytest.fixture(scope="module")
+def database():
+    return uniform_rectangle_database(num_objects=30, max_extent=0.05, seed=3)
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return random_reference_object(extent=0.05, seed=4, label="query")
+
+
+@pytest.fixture(scope="module")
+def requests(reference):
+    return [
+        KNNQuery(reference, k=3, tau=0.5, max_iterations=4),
+        KNNQuery(7, k=2, tau=0.3, max_iterations=4),
+        RKNNQuery(reference, k=2, tau=0.5, max_iterations=3, candidate_indices=range(12)),
+        RangeQuery(reference, epsilon=0.3, tau=0.5, max_depth=3),
+        RankingQuery(reference, max_iterations=2, candidate_indices=range(10)),
+        InverseRankingQuery(5, reference, max_iterations=3),
+        KNNQuery(reference, k=3, tau=0.5, max_iterations=4),  # a repeat
+    ]
+
+
+def _snapshot(results) -> list:
+    snap = []
+    for result in results:
+        if hasattr(result, "matches"):
+            snap.append(
+                [
+                    (m.index, m.probability_lower, m.probability_upper,
+                     m.decision, m.iterations, m.sequence)
+                    for bucket in (result.matches, result.undecided, result.rejected)
+                    for m in bucket
+                ]
+                + [result.pruned]
+            )
+        elif hasattr(result, "ranking"):
+            snap.append(
+                [
+                    (e.index, e.expected_rank_lower, e.expected_rank_upper, e.iterations)
+                    for e in result.ranking
+                ]
+            )
+        else:
+            snap.append((list(map(float, result.lower)), list(map(float, result.upper))))
+    return snap
+
+
+@pytest.fixture(scope="module")
+def serial_snapshot(database, requests):
+    engine = QueryEngine(database)
+    return _snapshot(engine.evaluate_many(requests))
+
+
+# --------------------------------------------------------------------- #
+# determinism across workers / chunk sizes / strategies
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_results_identical_across_worker_counts(
+    database, requests, serial_snapshot, workers
+):
+    engine = QueryEngine(database)
+    config = ExecutorConfig(mode="process", workers=workers)
+    got = _snapshot(engine.evaluate_many(requests, executor=config))
+    assert got == serial_snapshot
+    assert engine.last_batch_report.mode == "process"
+
+
+@pytest.mark.parametrize("chunking", ["affinity", "contiguous"])
+@pytest.mark.parametrize("chunk_size", [1, 3])
+def test_results_identical_across_chunkings(
+    database, requests, serial_snapshot, chunking, chunk_size
+):
+    engine = QueryEngine(database)
+    config = ExecutorConfig(
+        mode="process", workers=2, chunk_size=chunk_size, chunking=chunking
+    )
+    got = _snapshot(engine.evaluate_many(requests, executor=config))
+    assert got == serial_snapshot
+
+
+def test_serial_config_matches_no_config(database, requests, serial_snapshot):
+    engine = QueryEngine(database)
+    config = ExecutorConfig(mode="serial", workers=4)
+    got = _snapshot(engine.evaluate_many(requests, executor=config))
+    assert got == serial_snapshot
+    assert engine.last_batch_report.mode == "serial"
+
+
+def test_auto_mode_resolution():
+    assert ExecutorConfig().resolve_mode(10) == "serial"
+    assert ExecutorConfig(workers=4).resolve_mode(10) == "process"
+    assert ExecutorConfig(workers=4).resolve_mode(1) == "serial"
+    assert ExecutorConfig(mode="process").resolve_mode(1) == "process"
+    assert ExecutorConfig(mode="serial", workers=8).resolve_mode(10) == "serial"
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        ExecutorConfig(workers=0)
+    with pytest.raises(ValueError):
+        ExecutorConfig(chunk_size=0)
+    with pytest.raises(ValueError):
+        ExecutorConfig(mode="threads")
+    with pytest.raises(ValueError):
+        ExecutorConfig(chunking="random")
+
+
+# --------------------------------------------------------------------- #
+# partitioning
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("chunking", ["affinity", "contiguous"])
+@pytest.mark.parametrize("workers,chunk_size", [(1, None), (2, None), (4, 2), (3, 1)])
+def test_partition_covers_every_request_once(requests, chunking, workers, chunk_size):
+    chunks = partition_requests(requests, workers, chunk_size, chunking)
+    flat = sorted(index for chunk in chunks for index in chunk)
+    assert flat == list(range(len(requests)))
+    if chunk_size is not None:
+        assert all(len(chunk) <= chunk_size for chunk in chunks)
+
+
+def test_affinity_groups_shared_queries(requests):
+    chunks = partition_requests(requests, 4, None, "affinity")
+    by_request = {index: chunk_id for chunk_id, chunk in enumerate(chunks) for index in chunk}
+    # requests 0 and 6 are the same KNNQuery object-spec: same chunk
+    assert by_request[0] == by_request[6]
+
+
+def test_partition_empty_batch():
+    assert partition_requests([], 4) == []
+
+
+# --------------------------------------------------------------------- #
+# worker-shippable state
+# --------------------------------------------------------------------- #
+def test_context_pickles_to_empty_caches(database):
+    context = RefinementContext(database)
+    context.tree_for(database[0])
+    context.pair_bounds_cache[("some", "key")] = (1, 2)
+    clone = pickle.loads(pickle.dumps(context))
+    assert clone.axis_policy == context.axis_policy
+    assert len(clone.tree_cache) == 0
+    assert len(clone.pair_bounds_cache) == 0
+    assert clone.pair_bounds_cache.hits == 0
+
+
+def test_scheduler_pickles_to_configuration_only():
+    scheduler = RefinementScheduler(global_iteration_budget=7)
+    scheduler.steps_taken = 99
+    clone = pickle.loads(pickle.dumps(scheduler))
+    assert clone.global_iteration_budget == 7
+    assert clone.steps_taken == 0
+
+
+# --------------------------------------------------------------------- #
+# batch report
+# --------------------------------------------------------------------- #
+def test_serial_report_accounting(database, requests):
+    engine = QueryEngine(database)
+    engine.evaluate_many(requests)
+    report = engine.last_batch_report
+    assert isinstance(report, BatchReport)
+    assert report.mode == "serial"
+    assert report.num_requests == len(requests)
+    assert report.num_chunks == 1
+    assert report.kinds["knn"] == 3
+    assert report.scheduler_steps > 0
+    assert report.pair_bounds_misses > 0
+    assert report.elapsed_seconds > 0
+
+
+def test_process_report_merges_worker_chunks(database, requests):
+    engine = QueryEngine(database)
+    config = ExecutorConfig(mode="process", workers=2, chunk_size=2)
+    engine.evaluate_many(requests, executor=config)
+    report = engine.last_batch_report
+    assert report.mode == "process"
+    assert report.num_chunks == 4  # 7 requests, affinity buckets split by 2
+    assert sum(stats.size for stats in report.chunks) == len(requests)
+    assert report.kinds == {
+        "knn": 3, "rknn": 1, "range": 1, "ranking": 1, "inverse_ranking": 1
+    }
+    assert report.scheduler_steps > 0
+    assert len(report.worker_pids) >= 1
+    assert report.busiest_chunk_seconds <= report.elapsed_seconds
+    summary = report.to_dict()
+    assert summary["num_requests"] == len(requests)
+    assert sum(summary["chunk_sizes"]) == len(requests)
+
+
+# --------------------------------------------------------------------- #
+# adapter engine pass-through
+# --------------------------------------------------------------------- #
+def test_adapters_accept_shared_engine(database, reference, serial_snapshot):
+    from repro.queries import probabilistic_knn_threshold
+
+    engine = QueryEngine(database)
+    result = probabilistic_knn_threshold(
+        database, reference, k=3, tau=0.5, max_iterations=4, engine=engine
+    )
+    assert _snapshot([result]) == [serial_snapshot[0]]
+    assert engine.context.stats()["trees"] > 0  # the shared context did the work
+
+
+def test_adapters_reject_foreign_engine(database, reference):
+    from repro.queries import probabilistic_knn_threshold
+
+    other = uniform_rectangle_database(num_objects=5, max_extent=0.05, seed=9)
+    engine = QueryEngine(other)
+    with pytest.raises(ValueError):
+        probabilistic_knn_threshold(
+            database, reference, k=3, tau=0.5, engine=engine
+        )
+
+
+def test_adapters_reject_mismatched_configuration(database, reference):
+    from repro.index import RTree
+    from repro.queries import probabilistic_knn_threshold, probabilistic_range_query
+
+    engine = QueryEngine(database)  # p=2.0, criterion="optimal"
+    with pytest.raises(ValueError, match="p="):
+        probabilistic_knn_threshold(
+            database, reference, k=3, tau=0.5, p=1.0, engine=engine
+        )
+    with pytest.raises(ValueError, match="criterion"):
+        probabilistic_knn_threshold(
+            database, reference, k=3, tau=0.5, criterion="minmax", engine=engine
+        )
+    with pytest.raises(ValueError, match="rtree"):
+        probabilistic_knn_threshold(
+            database, reference, k=3, tau=0.5,
+            rtree=RTree(database.mbrs()), engine=engine,
+        )
+    with pytest.raises(ValueError, match="p="):
+        probabilistic_range_query(
+            database, reference, epsilon=0.3, tau=0.5, p=3.0, engine=engine
+        )
+
+
+def test_adapters_inherit_configuration_from_engine(database, reference):
+    from repro.queries import probabilistic_knn_threshold
+
+    # defaulted p/criterion must not be mistaken for explicit requests: a
+    # non-default engine is usable without repeating its configuration
+    engine = QueryEngine(database, p=1.0, criterion="minmax")
+    via_engine = probabilistic_knn_threshold(
+        database, reference, k=2, tau=0.5, max_iterations=3, engine=engine
+    )
+    direct = probabilistic_knn_threshold(
+        database, reference, k=2, tau=0.5, max_iterations=3,
+        p=1.0, criterion="minmax",
+    )
+    assert via_engine.result_indices() == direct.result_indices()
+    # explicitly repeating the engine's own configuration is also fine
+    repeated = probabilistic_knn_threshold(
+        database, reference, k=2, tau=0.5, max_iterations=3,
+        p=1.0, criterion="minmax", engine=engine,
+    )
+    assert repeated.result_indices() == direct.result_indices()
+
+
+def test_partition_requests_validates_arguments(requests):
+    with pytest.raises(ValueError, match="workers"):
+        partition_requests(requests, 0)
+    with pytest.raises(ValueError, match="chunk_size"):
+        partition_requests(requests, 2, chunk_size=0)
+    with pytest.raises(ValueError, match="chunking"):
+        partition_requests(requests, 2, chunking="shuffle")
