@@ -1,0 +1,220 @@
+"""Persistent QueryService vs a pool-per-batch executor, batch by batch.
+
+PR 3's parallel executor tears its process pool down after every
+``evaluate_many`` call, so a stream of small batches pays pool startup and
+per-worker engine rebuild once *per batch* (the overhead recorded in
+``BENCH_parallel.json`` on single-core machines).  The
+:class:`~repro.engine.QueryService` pays both once per process lifetime and
+additionally ships the dataset through shared memory.  This benchmark
+replays the same seeded kNN stream as ``bench_engine_parallel.py``, split
+into consecutive small batches, through three paths:
+
+* **serial** — the single-process shared-cache baseline (also the
+  determinism reference);
+* **pool-per-batch** — ``evaluate_many`` with ``ExecutorConfig`` per batch:
+  every batch spawns and reaps its own pool;
+* **service** — one :class:`QueryService` for the whole stream: batches go
+  through the request queue onto the persistent pool.
+
+The per-batch latency lists are the dispatch-overhead curve; the means are
+the headline comparison.  Determinism (every path bit-identical to serial)
+is asserted unconditionally; the overhead reduction (service mean per-batch
+latency below the pool-per-batch mean) is asserted only on machines with at
+least :data:`MIN_CPUS_FOR_GATE` CPUs, mirroring the PR-3 gating — although
+the reduction is typically visible even single-core, since pool startup is
+pure overhead.  Measured numbers go to ``BENCH_service.json`` (override
+with the ``BENCH_SERVICE_JSON`` environment variable).
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_service.py
+
+or through the benchmark suite::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_service.py -q -s
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.datasets import random_reference_object, uniform_rectangle_database
+from repro.engine import ExecutorConfig, KNNQuery, QueryEngine, QueryService
+
+NUM_OBJECTS = 150
+NUM_DISTINCT_QUERIES = 8
+NUM_BATCHES = 8
+BATCH_SIZE = 4
+K = 3
+TAU = 0.5
+MAX_ITERATIONS = 4
+SEED = 7
+WORKERS = 2
+MIN_CPUS_FOR_GATE = 4
+
+
+def _workload():
+    database = uniform_rectangle_database(
+        num_objects=NUM_OBJECTS, max_extent=0.05, seed=0
+    )
+    rng = np.random.default_rng(SEED)
+    distinct = [
+        random_reference_object(extent=0.05, rng=rng, label=f"query-{i}")
+        for i in range(NUM_DISTINCT_QUERIES)
+    ]
+    stream = [
+        distinct[i]
+        for i in rng.integers(0, NUM_DISTINCT_QUERIES, size=NUM_BATCHES * BATCH_SIZE)
+    ]
+    requests = [
+        KNNQuery(query, k=K, tau=TAU, max_iterations=MAX_ITERATIONS) for query in stream
+    ]
+    batches = [
+        requests[i : i + BATCH_SIZE] for i in range(0, len(requests), BATCH_SIZE)
+    ]
+    return database, batches
+
+
+def _snapshot(results) -> list:
+    """Full per-query result snapshot — bit-level comparison material."""
+    snap = []
+    for result in results:
+        snap.append(
+            [
+                (m.index, m.probability_lower, m.probability_upper, m.decision,
+                 m.iterations, m.sequence)
+                for bucket in (result.matches, result.undecided, result.rejected)
+                for m in bucket
+            ]
+            + [result.pruned]
+        )
+    return snap
+
+
+def run_benchmark() -> dict:
+    """Measure per-batch dispatch latency: pool-per-batch vs persistent."""
+    database, batches = _workload()
+
+    serial_engine = QueryEngine(database)
+    serial_latencies = []
+    baseline = []
+    for batch in batches:
+        start = time.perf_counter()
+        results = serial_engine.evaluate_many(batch)
+        serial_latencies.append(time.perf_counter() - start)
+        baseline.append(_snapshot(results))
+
+    config = ExecutorConfig(mode="process", workers=WORKERS, chunking="affinity")
+
+    per_batch_engine = QueryEngine(database)
+    per_batch_latencies = []
+    per_batch_identical = True
+    for index, batch in enumerate(batches):
+        start = time.perf_counter()
+        results = per_batch_engine.evaluate_many(batch, executor=config)
+        per_batch_latencies.append(time.perf_counter() - start)
+        per_batch_identical &= _snapshot(results) == baseline[index]
+
+    service_latencies = []
+    service_identical = True
+    with QueryService(QueryEngine(database), config) as service:
+        transport = service.transport
+        payload_nbytes = service.payload_nbytes
+        for index, batch in enumerate(batches):
+            start = time.perf_counter()
+            results = service.evaluate_many(batch)
+            service_latencies.append(time.perf_counter() - start)
+            service_identical &= _snapshot(results) == baseline[index]
+        pool_pids = service.worker_pids
+
+    per_batch_mean = sum(per_batch_latencies) / len(per_batch_latencies)
+    service_mean = sum(service_latencies) / len(service_latencies)
+    return {
+        "workload": {
+            "num_objects": NUM_OBJECTS,
+            "num_batches": NUM_BATCHES,
+            "batch_size": BATCH_SIZE,
+            "distinct_queries": NUM_DISTINCT_QUERIES,
+            "k": K,
+            "tau": TAU,
+            "max_iterations": MAX_ITERATIONS,
+            "seed": SEED,
+            "workers": WORKERS,
+        },
+        "cpu_count": os.cpu_count(),
+        "serial": {
+            "per_batch_seconds": serial_latencies,
+            "mean_batch_seconds": sum(serial_latencies) / len(serial_latencies),
+        },
+        "pool_per_batch": {
+            "per_batch_seconds": per_batch_latencies,
+            "mean_batch_seconds": per_batch_mean,
+            "results_identical": per_batch_identical,
+        },
+        "service": {
+            "per_batch_seconds": service_latencies,
+            "mean_batch_seconds": service_mean,
+            "results_identical": service_identical,
+            "transport": transport,
+            "payload_nbytes": payload_nbytes,
+            "distinct_worker_pids": len(pool_pids),
+        },
+        "dispatch_overhead_reduction": per_batch_mean / max(service_mean, 1e-12),
+        "results_identical": per_batch_identical and service_identical,
+        "min_cpus_for_gate": MIN_CPUS_FOR_GATE,
+        "note": (
+            "pool_per_batch pays pool startup per batch; the service pays it "
+            "once — the reduction gate applies on >= 4-CPU machines, where "
+            "worker scheduling noise cannot mask it"
+        ),
+    }
+
+
+def _write_report(report: dict) -> str:
+    path = os.environ.get("BENCH_SERVICE_JSON", "BENCH_service.json")
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=1)
+        handle.write("\n")
+    return path
+
+
+def test_service_dispatch_overhead_drops():
+    report = run_benchmark()
+    path = _write_report(report)
+    print()
+    print(
+        f"cpus {report['cpu_count']}  workers {WORKERS}  "
+        f"transport {report['service']['transport']}"
+    )
+    for name in ("serial", "pool_per_batch", "service"):
+        print(f"{name:15s} mean batch {report[name]['mean_batch_seconds'] * 1e3:8.1f} ms")
+    print(
+        f"dispatch overhead reduction {report['dispatch_overhead_reduction']:.2f}x"
+        f"  -> {path}"
+    )
+    # determinism is unconditional
+    assert report["results_identical"]
+    # one pool served the whole stream
+    assert report["service"]["distinct_worker_pids"] <= WORKERS
+    # the overhead reduction gate mirrors the PR-3 speedup gate: only on
+    # machines with enough CPUs for scheduling noise not to dominate
+    if (report["cpu_count"] or 1) >= MIN_CPUS_FOR_GATE:
+        assert report["dispatch_overhead_reduction"] > 1.0, (
+            "persistent service dispatched batches slower than pool-per-batch"
+        )
+    else:
+        print(
+            f"only {report['cpu_count']} CPU(s) - skipping the overhead "
+            "reduction assertion (recorded for information)"
+        )
+
+
+if __name__ == "__main__":
+    result = run_benchmark()
+    path = _write_report(result)
+    print(json.dumps(result, indent=1))
+    print(f"wrote {path}")

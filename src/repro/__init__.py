@@ -104,14 +104,16 @@ from .engine import (
     InverseRankingQuery,
     KNNQuery,
     QueryEngine,
+    QueryService,
     RangeQuery,
     RankingQuery,
     RefinementContext,
     RefinementScheduler,
     RKNNQuery,
+    ServiceBatch,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     # core
@@ -188,6 +190,8 @@ __all__ = [
     "BatchReport",
     "ExecutorConfig",
     "QueryEngine",
+    "QueryService",
+    "ServiceBatch",
     "RefinementContext",
     "RefinementScheduler",
     "KNNQuery",

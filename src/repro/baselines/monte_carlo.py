@@ -44,16 +44,26 @@ def monte_carlo_pdom(
     samples: int = 1000,
     rng: Optional[np.random.Generator] = None,
     p: float = 2.0,
+    seed: Optional[int] = None,
 ) -> float:
     """Monte-Carlo estimate of ``PDom(candidate, target, reference)``.
 
     Draws ``samples`` joint samples of the three objects and returns the
     fraction in which the candidate is strictly closer to the reference than
     the target.  Used by tests to validate the analytic bounds.
+
+    By default every call draws fresh OS entropy, so repeated estimates are
+    independent — an estimator whose nominally independent runs share a
+    fixed seed is perfectly correlated and its spread says nothing about
+    its variance.  Pass ``seed=`` for a reproducible estimate, or ``rng=``
+    to control the stream explicitly (not both).
     """
     if samples <= 0:
         raise ValueError("samples must be positive")
-    rng = rng if rng is not None else np.random.default_rng(0)
+    if rng is not None and seed is not None:
+        raise ValueError("pass either rng= or seed=, not both")
+    if rng is None:
+        rng = np.random.default_rng(seed)
     a = candidate.sample(samples, rng)
     b = target.sample(samples, rng)
     r = reference.sample(samples, rng)

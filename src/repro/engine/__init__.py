@@ -9,6 +9,9 @@ functions in :mod:`repro.queries` are thin adapters over it, and
 caches across a whole workload — serially or, with an
 :class:`ExecutorConfig`, on a pool of worker processes (see
 ``engine/executor.py`` for the worker lifecycle and determinism contract).
+For long-running processes, :class:`QueryService` keeps one worker pool
+alive across every batch and ships the dataset to the workers through
+shared memory (see ``engine/service.py``).
 """
 
 from .candidates import (
@@ -20,7 +23,13 @@ from .candidates import (
 )
 from .context import CacheStats, RefinementContext
 from .engine import QueryEngine
-from .executor import BatchReport, ChunkStats, ExecutorConfig, partition_requests
+from .executor import (
+    BatchReport,
+    ChunkStats,
+    ExecutorConfig,
+    WorkerPool,
+    partition_requests,
+)
 from .requests import (
     DominationCountQuery,
     InverseRankingQuery,
@@ -31,6 +40,7 @@ from .requests import (
     RKNNQuery,
 )
 from .scheduler import RefinementScheduler
+from .service import QueryService, ServiceBatch
 
 __all__ = [
     "BatchReport",
@@ -43,6 +53,7 @@ __all__ = [
     "KNNQuery",
     "QueryEngine",
     "QueryRequest",
+    "QueryService",
     "RangeClassification",
     "RangeQuery",
     "RankingQuery",
@@ -51,6 +62,8 @@ __all__ = [
     "RKNNQuery",
     "RTreeCandidateSource",
     "ScanCandidateSource",
+    "ServiceBatch",
+    "WorkerPool",
     "make_candidate_source",
     "partition_requests",
 ]

@@ -91,6 +91,12 @@ class RefinementContext:
         is exactly the worker lifecycle the parallel batch executor relies on
         (see ``engine/executor.py``).  Memoised bounds are deterministic, so
         rebuilding them locally never changes results.
+
+        The database itself decides its own transport: with an active
+        shared-memory export (``UncertainDatabase.share_memory``) it pickles
+        to a lightweight handle that workers *attach* — so shipping a context
+        costs kilobytes regardless of database size — and to a full copy
+        otherwise.  Either way this reduce stays cache-free.
         """
         return (type(self), (self.database, self.axis_policy))
 

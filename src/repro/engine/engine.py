@@ -433,7 +433,7 @@ class QueryEngine:
     def evaluate_many(
         self,
         requests: Sequence[QueryRequest],
-        executor: Optional[ExecutorConfig] = None,
+        executor=None,
     ) -> list:
         """Evaluate a heterogeneous batch of query requests.
 
@@ -443,9 +443,13 @@ class QueryEngine:
         bounds computed for one query are reused by all later queries of the
         batch.  With an :class:`~repro.engine.executor.ExecutorConfig`
         resolving to ``"process"``, the batch is partitioned into chunks and
-        evaluated on a pool of worker processes; each worker receives this
-        engine (pickled once, caches rebuilt empty and worker-local) and the
-        chunk outcomes are merged.
+        evaluated on a per-batch pool of worker processes; each worker
+        receives this engine (pickled once, caches rebuilt empty and
+        worker-local) and the chunk outcomes are merged.  With a
+        :class:`~repro.engine.service.QueryService` as ``executor``, the
+        batch routes through the service's request queue onto its
+        *persistent* pool instead — the service must serve this engine's
+        database.
 
         Results are returned in request order and are identical to
         evaluating each request on a fresh engine — sharing caches only
@@ -453,7 +457,21 @@ class QueryEngine:
         of worker count and chunking.  :attr:`last_batch_report` holds the
         merged :class:`~repro.engine.executor.BatchReport` of the call.
         """
+        from .service import QueryService
+
         requests = list(requests)
+        if isinstance(executor, QueryService):
+            if executor.engine.database is not self.database:
+                raise ValueError(
+                    "the supplied QueryService serves a different database"
+                )
+            # take the report from this batch's own handle: the service's
+            # last_batch_report may already describe a concurrently
+            # submitted batch by the time the results resolve
+            handle = executor.submit(requests)
+            results = handle.result()
+            self.last_batch_report = handle.report()
+            return results
         if executor is not None and executor.resolve_mode(len(requests)) == "process":
             results, report = run_process_batch(self, requests, executor)
             self.last_batch_report = report

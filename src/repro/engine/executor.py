@@ -31,6 +31,15 @@ into the same *chunk*.  Chunks are dispatched to whichever worker is free,
 so locality is guaranteed within a chunk and best-effort across chunks; with
 ``chunk_size=None`` (the default) each affinity bucket is exactly one chunk
 and therefore does run on a single worker.
+
+The pool lifecycle itself lives in :class:`WorkerPool`: ``run_process_batch``
+creates one pool per batch (and tears it down on every exit path, so errors
+cannot leak worker processes), while the long-lived
+:class:`~repro.engine.service.QueryService` keeps a single :class:`WorkerPool`
+alive across every batch of the process lifetime.  When the database carries
+an active shared-memory export (``UncertainDatabase.share_memory``), the
+engine payload both paths ship is a lightweight handle and workers *map* the
+dataset instead of unpickling a copy.
 """
 
 from __future__ import annotations
@@ -54,6 +63,7 @@ __all__ = [
     "BatchReport",
     "ChunkStats",
     "ExecutorConfig",
+    "WorkerPool",
     "partition_requests",
     "result_iteration_stats",
     "run_chunk_on_engine",
@@ -74,10 +84,15 @@ class ExecutorConfig:
         behaviour of calling ``evaluate_many`` without a config).
         ``"process"`` forces the process pool even for one worker — useful to
         exercise the pickling path.  ``"auto"`` (default) picks the pool when
-        ``workers > 1`` and the batch has more than one request.
+        the resolved worker count exceeds 1 and the batch has more than one
+        request.
     workers:
-        Number of worker processes.  ``workers=1`` under ``"auto"`` is the
-        serial path.
+        Number of worker processes.  ``None`` (default) derives the count
+        from :func:`os.cpu_count` — so ``mode="auto"`` actually scales out
+        on multi-core machines instead of silently meaning "serial".  An
+        explicit value is always authoritative; ``workers=1`` under
+        ``"auto"`` is the serial path.  :attr:`effective_workers` is the
+        resolved count.
     chunk_size:
         Optional cap on requests per chunk.  ``None`` derives one chunk per
         worker (contiguous) or one chunk per affinity bucket (affinity).
@@ -96,7 +111,7 @@ class ExecutorConfig:
     """
 
     mode: ExecutionMode = "auto"
-    workers: int = 1
+    workers: Optional[int] = None
     chunk_size: Optional[int] = None
     chunking: ChunkingStrategy = "affinity"
     start_method: Optional[str] = None
@@ -106,10 +121,22 @@ class ExecutorConfig:
             raise ValueError(f"unknown execution mode {self.mode!r}")
         if self.chunking not in ("affinity", "contiguous"):
             raise ValueError(f"unknown chunking strategy {self.chunking!r}")
-        if self.workers < 1:
-            raise ValueError("workers must be at least 1")
+        if self.workers is not None and self.workers < 1:
+            raise ValueError("workers must be at least 1 when given")
         if self.chunk_size is not None and self.chunk_size < 1:
             raise ValueError("chunk_size must be at least 1 when given")
+
+    @property
+    def effective_workers(self) -> int:
+        """The resolved worker count: explicit ``workers``, else CPU count.
+
+        The adaptive default (``workers=None``) asks :func:`os.cpu_count`
+        at resolution time, so the same config object adapts to the machine
+        it runs on; explicitly configured counts are never overridden.
+        """
+        if self.workers is not None:
+            return self.workers
+        return max(1, os.cpu_count() or 1)
 
     def resolve_mode(self, num_requests: int) -> str:
         """Concrete execution mode for a batch of ``num_requests``."""
@@ -117,7 +144,7 @@ class ExecutorConfig:
             return "serial"
         if self.mode == "process":
             return "process"
-        if self.workers > 1 and num_requests > 1:
+        if self.effective_workers > 1 and num_requests > 1:
             return "process"
         return "serial"
 
@@ -162,6 +189,10 @@ class BatchReport:
     num_requests: int
     elapsed_seconds: float
     chunks: tuple[ChunkStats, ...] = field(default_factory=tuple)
+    #: Pool lifetime behind the batch: ``"none"`` (serial), ``"per-batch"``
+    #: (a pool created and torn down by this call) or ``"persistent"`` (a
+    #: long-lived :class:`~repro.engine.service.QueryService` pool).
+    pool: str = "none"
 
     @property
     def num_chunks(self) -> int:
@@ -219,6 +250,7 @@ class BatchReport:
         """JSON-serialisable summary (used by the parallel benchmark)."""
         return {
             "mode": self.mode,
+            "pool": self.pool,
             "workers": self.workers,
             "chunking": self.chunking,
             "chunk_size": self.chunk_size,
@@ -394,6 +426,29 @@ def _run_chunk(
     return chunk_index, results, stats
 
 
+def _worker_probe() -> dict:
+    """Introspect the worker-local engine (runs inside a worker process).
+
+    Reports the worker's pid and how it obtained its database: on the
+    shared-memory path the worker *attached* the dataset (arrays are
+    read-only views into the parent's block, named by ``shm_name``); on the
+    fallback path it unpickled a private copy.  Used by
+    ``QueryService.probe_workers`` and the transport tests.
+    """
+    from ..uncertain.sharedmem import database_transport
+
+    engine = _WORKER_ENGINE
+    if engine is None:  # pragma: no cover - defensive: initializer not run
+        raise RuntimeError("worker engine was never initialised")
+    database = engine.database
+    return {
+        "pid": os.getpid(),
+        "transport": database_transport(database),
+        "shm_name": getattr(database, "_shm_name", None),
+        "num_objects": len(database),
+    }
+
+
 # --------------------------------------------------------------------- #
 # parent side
 # --------------------------------------------------------------------- #
@@ -413,50 +468,139 @@ def _pool_context(start_method: Optional[str]) -> multiprocessing.context.BaseCo
     return multiprocessing.get_context(start_method)
 
 
+class WorkerPool:
+    """A process pool bound to one pickled engine payload, reusable across
+    batches.
+
+    The pool owns the worker lifecycle the parallel executor relies on: the
+    engine is pickled exactly once at construction (with a shared-memory
+    export active on the database, the payload is a lightweight handle —
+    see ``repro/uncertain/sharedmem.py``), every worker rebuilds it through
+    the pool initializer, and the worker-local caches then persist across
+    every chunk the pool ever executes.  ``run_process_batch`` creates one
+    pool per batch; a :class:`~repro.engine.service.QueryService` keeps one
+    alive across its whole lifetime, which is where pool startup and cache
+    warm-up amortisation actually pay off.
+    """
+
+    def __init__(
+        self,
+        engine: "QueryEngine",
+        workers: int,
+        start_method: Optional[str] = None,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.workers = workers
+        self._payload = pickle.dumps(engine)
+        self._executor = ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=_pool_context(start_method),
+            initializer=_initialise_worker,
+            initargs=(self._payload,),
+        )
+        self._closed = False
+
+    @property
+    def payload_nbytes(self) -> int:
+        """Size of the engine payload each worker receives, in bytes."""
+        return len(self._payload)
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run (a closed pool accepts no chunks)."""
+        return self._closed
+
+    def submit_chunk(self, chunk_index: int, requests: Sequence["QueryRequest"]):
+        """Dispatch one chunk; resolves to ``(chunk_index, results, stats)``."""
+        return self._executor.submit(_run_chunk, chunk_index, list(requests))
+
+    def run_chunks(
+        self, requests: Sequence["QueryRequest"], chunks: Sequence[Sequence[int]]
+    ) -> tuple[list, list[ChunkStats]]:
+        """Execute pre-partitioned chunks and reassemble request order.
+
+        Results are placed by original request index, so worker scheduling
+        affects only *where* cache warm-up happens, never the results.  If
+        any chunk raises, the pending chunks are cancelled and the first
+        failure propagates — the pool itself stays usable (worker processes
+        survive ordinary exceptions), so a poisoned batch does not cost a
+        persistent service its pool.
+        """
+        futures = [
+            self.submit_chunk(index, [requests[i] for i in chunk])
+            for index, chunk in enumerate(chunks)
+        ]
+        results: list = [None] * len(requests)
+        chunk_stats: list[ChunkStats] = []
+        try:
+            for future in futures:
+                index, chunk_results, stats = future.result()
+                for position, result in zip(chunks[index], chunk_results):
+                    results[position] = result
+                chunk_stats.append(stats)
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            raise
+        chunk_stats.sort(key=lambda stats: stats.chunk)
+        return results, chunk_stats
+
+    def probe(self) -> dict:
+        """Run the worker probe on one worker and return its report."""
+        return self._executor.submit(_worker_probe).result()
+
+    def close(self, wait: bool = True, cancel_pending: bool = False) -> None:
+        """Shut the pool down (idempotent).
+
+        ``wait=True`` blocks until the workers exited — afterwards no child
+        processes remain.  ``cancel_pending=True`` additionally cancels
+        chunks that have not started (running chunks always finish).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._executor.shutdown(wait=wait, cancel_futures=cancel_pending)
+
+    def __enter__(self) -> "WorkerPool":
+        """Context-manager entry: the pool itself."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Context-manager exit: close the pool, waiting for the workers."""
+        self.close(wait=True, cancel_pending=exc_type is not None)
+
+
 def run_process_batch(
     engine: "QueryEngine",
     requests: Sequence["QueryRequest"],
     config: ExecutorConfig,
 ) -> tuple[list, BatchReport]:
-    """Evaluate ``requests`` on a process pool and merge the chunk reports.
+    """Evaluate ``requests`` on a per-batch process pool and merge reports.
 
     The engine is pickled once and shipped to every worker through the pool
     initializer; chunks are dispatched to whichever worker is free, and the
-    chunk results are reassembled into request order by index.  Worker
-    scheduling therefore affects only *where* cache warm-up happens, never
-    the results.
+    chunk results are reassembled into request order by index.  The pool is
+    torn down when the batch completes — including on error, so a failing
+    chunk can never leak worker processes.  Use a
+    :class:`~repro.engine.service.QueryService` to keep the pool (and the
+    workers' warmed caches) alive across batches.
     """
-    chunks = partition_requests(
-        requests, config.workers, config.chunk_size, config.chunking
-    )
-    payload = pickle.dumps(engine)
+    workers = config.effective_workers
+    chunks = partition_requests(requests, workers, config.chunk_size, config.chunking)
     start = time.perf_counter()
-    results: list = [None] * len(requests)
-    chunk_stats: list[ChunkStats] = []
-    max_workers = max(1, min(config.workers, len(chunks)))
-    with ProcessPoolExecutor(
-        max_workers=max_workers,
-        mp_context=_pool_context(config.start_method),
-        initializer=_initialise_worker,
-        initargs=(payload,),
+    with WorkerPool(
+        engine, max(1, min(workers, len(chunks))), config.start_method
     ) as pool:
-        futures = [
-            pool.submit(_run_chunk, index, [requests[i] for i in chunk])
-            for index, chunk in enumerate(chunks)
-        ]
-        for future in futures:
-            index, chunk_results, stats = future.result()
-            for position, result in zip(chunks[index], chunk_results):
-                results[position] = result
-            chunk_stats.append(stats)
-    chunk_stats.sort(key=lambda stats: stats.chunk)
+        results, chunk_stats = pool.run_chunks(requests, chunks)
     report = BatchReport(
         mode="process",
-        workers=config.workers,
+        workers=workers,
         chunking=config.chunking,
         chunk_size=config.chunk_size,
         num_requests=len(requests),
         elapsed_seconds=time.perf_counter() - start,
         chunks=tuple(chunk_stats),
+        pool="per-batch",
     )
     return results, report

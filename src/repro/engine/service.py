@@ -1,0 +1,358 @@
+"""Long-lived query service: one worker pool for the whole process lifetime.
+
+``QueryEngine.evaluate_many`` with an :class:`~repro.engine.executor
+.ExecutorConfig` builds a process pool, evaluates one batch and tears the
+pool down again — every batch pays pool startup and per-worker engine
+rebuild.  A :class:`QueryService` hoists that cost out of the batch loop:
+
+* the **worker pool** (:class:`~repro.engine.executor.WorkerPool`) is
+  spawned once at construction and reused by every batch until the service
+  closes, so pool startup and worker-local cache warm-up are paid once per
+  *process lifetime*;
+* the **dataset** travels by shared memory when the platform supports it:
+  the database's array payload is exported into one
+  :mod:`multiprocessing.shared_memory` block (see
+  ``repro/uncertain/sharedmem.py``) before the pool starts, so every worker
+  maps — not copies — the data and the per-worker payload shrinks to a
+  handle of a few kilobytes;
+* an **async-friendly request queue** fronts the pool: :meth:`QueryService.submit`
+  enqueues a batch and immediately returns a :class:`ServiceBatch` handle,
+  a single dispatcher thread drains the queue in FIFO order (chunks of one
+  batch still run in parallel across the pool), and the blocking
+  :meth:`QueryService.evaluate_many` routes through the same queue.
+
+Determinism is inherited unchanged from the executor layer: results are
+bit-identical to the serial path for every worker count, chunking and batch
+composition, and persistent worker caches only ever remove recomputation.
+
+Shutdown is deterministic and idempotent: :meth:`QueryService.close` (or the
+context manager, or the ``atexit`` fallback for services that are never
+closed explicitly) drains the queue, stops the dispatcher, shuts the pool
+down and releases the shared-memory export — the last release unlinks the
+block.  A request that raises inside a worker fails only its own batch; the
+pool and the service survive.
+"""
+
+from __future__ import annotations
+
+import atexit
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional, Sequence, Union
+
+from ..uncertain import UncertainDatabase
+from ..uncertain.sharedmem import SharedDatabaseExport, shared_memory_available
+from .executor import BatchReport, ExecutorConfig, WorkerPool, partition_requests
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .engine import QueryEngine
+    from .requests import QueryRequest
+
+__all__ = ["QueryService", "ServiceBatch"]
+
+#: Sentinel distinguishing "argument not passed" from an explicit ``None``
+#: (``chunk_size=None`` meaningfully requests one chunk per affinity bucket).
+_UNSET = object()
+
+
+class ServiceBatch:
+    """Handle to one submitted batch — a future over results and report.
+
+    Returned immediately by :meth:`QueryService.submit`; the batch itself
+    runs on the service's worker pool once the dispatcher reaches it.  All
+    methods are thread-safe.
+    """
+
+    def __init__(self, future: Future):
+        self._future = future
+
+    def done(self) -> bool:
+        """Whether the batch has finished (successfully or with an error)."""
+        return self._future.done()
+
+    def result(self, timeout: Optional[float] = None) -> list:
+        """Block until the batch completes and return its results.
+
+        Results are in request order, bit-identical to evaluating the same
+        requests serially.  Re-raises the first chunk failure if the batch
+        errored, and :class:`TimeoutError` if ``timeout`` elapses first.
+        """
+        return self._future.result(timeout)[0]
+
+    def report(self, timeout: Optional[float] = None) -> BatchReport:
+        """Block until the batch completes and return its merged report.
+
+        The report's ``elapsed_seconds`` measures submit-to-completion
+        latency (queue wait included) and ``pool`` is ``"persistent"``.
+        """
+        return self._future.result(timeout)[1]
+
+    def exception(self, timeout: Optional[float] = None) -> Optional[BaseException]:
+        """The batch's failure, or ``None`` once it completed successfully."""
+        return self._future.exception(timeout)
+
+
+@dataclass
+class _Job:
+    """One queued batch: requests, their partitioning, and the future."""
+
+    requests: list
+    chunks: list[list[int]]
+    chunking: str
+    chunk_size: Optional[int]
+    future: Future = field(default_factory=Future)
+    enqueued_at: float = 0.0
+
+
+class QueryService:
+    """A persistent front-end over one engine, its pool and its dataset.
+
+    Parameters
+    ----------
+    engine:
+        The :class:`~repro.engine.engine.QueryEngine` to serve, or an
+        :class:`~repro.uncertain.UncertainDatabase` (a default engine is
+        built over it).
+    executor:
+        Optional :class:`~repro.engine.executor.ExecutorConfig` supplying
+        the worker count (``effective_workers``; the adaptive default
+        derives it from :func:`os.cpu_count`), default chunking and start
+        method.  The ``mode`` field is ignored — a service exists to own a
+        process pool; use ``engine.evaluate_many`` directly for serial
+        evaluation.
+    share_memory:
+        ``True`` exports the database into shared memory before the pool
+        starts (raises when the platform cannot); ``False`` forces the
+        plain-pickling transport; ``None`` (default) uses shared memory
+        exactly when :func:`~repro.uncertain.sharedmem.shared_memory_available`
+        says so, falling back silently if the export fails at OS level.
+    atexit_cleanup:
+        Register an :mod:`atexit` fallback so a service never explicitly
+        closed still shuts its pool down and unlinks its shared-memory
+        block at interpreter exit.  :meth:`close` unregisters it.
+
+    Example
+    -------
+    ::
+
+        with QueryService(engine, ExecutorConfig(workers=4)) as service:
+            for batch in request_stream:          # one pool for all batches
+                results = service.evaluate_many(batch)
+
+    Thread safety: :meth:`submit`, :meth:`evaluate_many` and :meth:`close`
+    may be called from any thread; batches execute in FIFO submission order.
+    """
+
+    def __init__(
+        self,
+        engine: Union["QueryEngine", UncertainDatabase],
+        executor: Optional[ExecutorConfig] = None,
+        *,
+        share_memory: Optional[bool] = None,
+        atexit_cleanup: bool = True,
+    ):
+        from .engine import QueryEngine
+
+        if isinstance(engine, UncertainDatabase):
+            engine = QueryEngine(engine)
+        self.engine = engine
+        self.config = executor if executor is not None else ExecutorConfig()
+        self._export: Optional[SharedDatabaseExport] = None
+        self._transport = "pickle"
+        if share_memory is None:
+            if shared_memory_available():
+                try:
+                    self._export = engine.database.share_memory().acquire()
+                    self._transport = "shared_memory"
+                except OSError:  # pragma: no cover - e.g. /dev/shm missing
+                    self._export = None
+        elif share_memory:
+            self._export = engine.database.share_memory().acquire()
+            self._transport = "shared_memory"
+        try:
+            self._pool = WorkerPool(
+                engine, self.config.effective_workers, self.config.start_method
+            )
+        except BaseException:
+            if self._export is not None:
+                self._export.release()
+            raise
+        #: Merged :class:`~repro.engine.executor.BatchReport` of the most
+        #: recently *completed* batch (``None`` before the first one).
+        self.last_batch_report: Optional[BatchReport] = None
+        self._jobs: "queue.SimpleQueue[Optional[_Job]]" = queue.SimpleQueue()
+        self._submit_lock = threading.Lock()
+        self._closed = False
+        self._seen_pids: set[int] = set()
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="repro-query-service", daemon=True
+        )
+        self._dispatcher.start()
+        self._atexit_registered = atexit_cleanup
+        if atexit_cleanup:
+            atexit.register(self.close)
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run; a closed service rejects submits."""
+        return self._closed
+
+    @property
+    def workers(self) -> int:
+        """Size of the persistent worker pool."""
+        return self._pool.workers
+
+    @property
+    def transport(self) -> str:
+        """Dataset transport to the workers: ``"shared_memory"`` or ``"pickle"``."""
+        return self._transport
+
+    @property
+    def worker_pids(self) -> tuple[int, ...]:
+        """Distinct worker pids observed across all completed batches.
+
+        Bounded by :attr:`workers` for the service's whole lifetime — the
+        observable guarantee that one pool serves every batch.
+        """
+        # the dispatcher rebinds _seen_pids atomically instead of mutating
+        # it, so this snapshot can never observe a set mid-update
+        return tuple(sorted(self._seen_pids))
+
+    @property
+    def payload_nbytes(self) -> int:
+        """Bytes of engine payload each worker received at pool startup.
+
+        On the shared-memory path this is a few kilobytes regardless of
+        database size — the array payload lives in the shared block.
+        """
+        return self._pool.payload_nbytes
+
+    def probe_workers(self) -> dict:
+        """One worker's self-report: pid, dataset transport, block name.
+
+        Workers are interchangeable (they all received the same payload),
+        so a single report characterises the pool.
+        """
+        if self._closed:
+            raise RuntimeError("the service is closed")
+        return self._pool.probe()
+
+    # ------------------------------------------------------------------ #
+    # request queue
+    # ------------------------------------------------------------------ #
+    def submit(
+        self,
+        requests: Sequence["QueryRequest"],
+        chunk_size=_UNSET,
+        chunking: Optional[str] = None,
+    ) -> ServiceBatch:
+        """Enqueue a batch and return a :class:`ServiceBatch` immediately.
+
+        The batch is partitioned here (a deterministic function of the batch
+        alone) and executed by the dispatcher in FIFO order; chunks run in
+        parallel across the persistent pool.  ``chunk_size`` / ``chunking``
+        default to the service's executor config.  Raises ``RuntimeError``
+        once the service is closed.
+        """
+        requests = list(requests)
+        size = self.config.chunk_size if chunk_size is _UNSET else chunk_size
+        strategy = chunking if chunking is not None else self.config.chunking
+        chunks = partition_requests(requests, self._pool.workers, size, strategy)
+        job = _Job(requests=requests, chunks=chunks, chunking=strategy, chunk_size=size)
+        with self._submit_lock:
+            if self._closed:
+                raise RuntimeError("cannot submit to a closed QueryService")
+            job.enqueued_at = time.perf_counter()
+            self._jobs.put(job)
+        return ServiceBatch(job.future)
+
+    def evaluate_many(
+        self,
+        requests: Sequence["QueryRequest"],
+        chunk_size=_UNSET,
+        chunking: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ) -> list:
+        """Evaluate a batch through the request queue, blocking until done.
+
+        Same contract as :meth:`QueryEngine.evaluate_many` — results in
+        request order, bit-identical to the serial path — but dispatched
+        onto the service's persistent pool.  The merged report lands on
+        :attr:`last_batch_report` and on the engine's
+        ``last_batch_report`` (with ``pool="persistent"``).
+        """
+        handle = self.submit(requests, chunk_size=chunk_size, chunking=chunking)
+        return handle.result(timeout)
+
+    # ------------------------------------------------------------------ #
+    # dispatcher (single background thread)
+    # ------------------------------------------------------------------ #
+    def _dispatch_loop(self) -> None:
+        while True:
+            job = self._jobs.get()
+            if job is None:
+                break
+            if not job.future.set_running_or_notify_cancel():
+                continue  # cancelled before it started
+            try:
+                results, chunk_stats = self._pool.run_chunks(job.requests, job.chunks)
+            except BaseException as error:
+                job.future.set_exception(error)
+                continue
+            report = BatchReport(
+                mode="process",
+                workers=self._pool.workers,
+                chunking=job.chunking,
+                chunk_size=job.chunk_size,
+                num_requests=len(job.requests),
+                elapsed_seconds=time.perf_counter() - job.enqueued_at,
+                chunks=tuple(chunk_stats),
+                pool="persistent",
+            )
+            self._seen_pids = self._seen_pids | set(report.worker_pids)
+            self.last_batch_report = report
+            self.engine.last_batch_report = report
+            job.future.set_result((results, report))
+
+    # ------------------------------------------------------------------ #
+    # shutdown
+    # ------------------------------------------------------------------ #
+    def close(self, wait: bool = True) -> None:
+        """Shut the service down (idempotent; also the ``atexit`` fallback).
+
+        ``wait=True`` (default) drains the queue — already-submitted batches
+        complete and their handles resolve — then stops the dispatcher,
+        shuts the pool down (no worker processes remain) and releases the
+        shared-memory export, whose last release unlinks the block.
+        ``wait=False`` abandons pending work: unstarted chunks are
+        cancelled and outstanding handles resolve with an error.
+        Subsequent :meth:`submit` calls raise ``RuntimeError``.
+        """
+        with self._submit_lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._jobs.put(None)  # under the lock: nothing enqueues after it
+        if wait:
+            self._dispatcher.join()
+        self._pool.close(wait=wait, cancel_pending=not wait)
+        if self._export is not None:
+            self._export.release()
+            self._export = None
+        if self._atexit_registered:
+            atexit.unregister(self.close)
+            self._atexit_registered = False
+
+    def __enter__(self) -> "QueryService":
+        """Context-manager entry: the service itself."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Context-manager exit: close the service, draining the queue."""
+        self.close(wait=True)

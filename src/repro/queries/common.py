@@ -13,9 +13,24 @@ __all__ = [
     "ObjectSpec",
     "resolve_object",
     "ensure_engine_matches",
+    "unwrap_engine",
     "ProbabilisticMatch",
     "ThresholdQueryResult",
 ]
+
+
+def unwrap_engine(engine):
+    """Allow a ``QueryService`` wherever an adapter accepts ``engine=``.
+
+    Single queries always evaluate in the calling process against the
+    service's engine and shared refinement context — the worker pool only
+    pays off for batches, which go through ``QueryService.evaluate_many``.
+    Detection is structural (a service exposes ``submit`` and wraps an
+    ``engine``) so this module needs no import of the engine package.
+    """
+    if engine is not None and hasattr(engine, "submit") and hasattr(engine, "engine"):
+        return engine.engine
+    return engine
 
 ObjectSpec = Union[UncertainObject, int, np.integer]
 

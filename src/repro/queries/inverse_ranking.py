@@ -21,7 +21,7 @@ import numpy as np
 from ..core import IDCA, IDCAResult, StopCriterion
 from ..geometry import DominationCriterion
 from ..uncertain import UncertainDatabase
-from .common import ObjectSpec, ensure_engine_matches
+from .common import ObjectSpec, ensure_engine_matches, unwrap_engine
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from ..engine import QueryEngine
@@ -94,7 +94,9 @@ def probabilistic_inverse_ranking(
     stop:
         Explicit stop criterion (overrides ``uncertainty_budget``).
     engine:
-        Optional pre-built :class:`~repro.engine.QueryEngine` to evaluate
+        Optional pre-built :class:`~repro.engine.QueryEngine` — or a
+        :class:`~repro.engine.QueryService`, whose engine and shared
+        context are then used in-process — to evaluate
         against.  Passing the same engine to repeated calls shares its
         refinement context (decomposition trees, memoised domination bounds)
         across queries, exactly like the batch API; it must have been built
@@ -104,6 +106,7 @@ def probabilistic_inverse_ranking(
     """
     from ..engine import QueryEngine
 
+    engine = unwrap_engine(engine)
     if engine is None:
         engine = QueryEngine(
             database,

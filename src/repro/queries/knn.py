@@ -22,7 +22,7 @@ from ..core import IDCA
 from ..geometry import DominationCriterion
 from ..index import RTree
 from ..uncertain import UncertainDatabase
-from .common import ObjectSpec, ThresholdQueryResult, ensure_engine_matches
+from .common import ObjectSpec, ThresholdQueryResult, ensure_engine_matches, unwrap_engine
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from ..engine import QueryEngine
@@ -67,7 +67,9 @@ def probabilistic_knn_threshold(
     strict:
         Require ``P > tau`` instead of ``P >= tau``.
     engine:
-        Optional pre-built :class:`~repro.engine.QueryEngine` to evaluate
+        Optional pre-built :class:`~repro.engine.QueryEngine` — or a
+        :class:`~repro.engine.QueryService`, whose engine and shared
+        context are then used in-process — to evaluate
         against.  Passing the same engine to repeated calls shares its
         refinement context (decomposition trees, memoised domination bounds)
         across queries, exactly like the batch API; it must have been built
@@ -81,6 +83,7 @@ def probabilistic_knn_threshold(
     """
     from ..engine import QueryEngine
 
+    engine = unwrap_engine(engine)
     if engine is None:
         engine = QueryEngine(
             database,

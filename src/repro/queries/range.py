@@ -19,7 +19,7 @@ from typing import Optional, TYPE_CHECKING
 from ..geometry import max_dist_arrays, min_dist_arrays
 from ..uncertain import DecompositionTree, UncertainDatabase
 from ..uncertain.decomposition import AxisPolicy
-from .common import ObjectSpec, ThresholdQueryResult, ensure_engine_matches
+from .common import ObjectSpec, ThresholdQueryResult, ensure_engine_matches, unwrap_engine
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from ..engine import QueryEngine
@@ -87,6 +87,7 @@ def probabilistic_range_query(
     """
     from ..engine import QueryEngine
 
+    engine = unwrap_engine(engine)
     if engine is None:
         engine = QueryEngine(database, p=2.0 if p is None else p)
     else:

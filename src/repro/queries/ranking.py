@@ -15,7 +15,7 @@ from typing import Iterable, Optional, TYPE_CHECKING
 from ..core import IDCA
 from ..geometry import DominationCriterion
 from ..uncertain import UncertainDatabase
-from .common import ObjectSpec, ensure_engine_matches
+from .common import ObjectSpec, ensure_engine_matches, unwrap_engine
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from ..engine import QueryEngine
@@ -81,7 +81,9 @@ def expected_rank_ranking(
     candidate_indices:
         Optional subset of database positions to rank; defaults to all.
     engine:
-        Optional pre-built :class:`~repro.engine.QueryEngine` to evaluate
+        Optional pre-built :class:`~repro.engine.QueryEngine` — or a
+        :class:`~repro.engine.QueryService`, whose engine and shared
+        context are then used in-process — to evaluate
         against.  Passing the same engine to repeated calls shares its
         refinement context (decomposition trees, memoised domination bounds)
         across queries, exactly like the batch API; it must have been built
@@ -91,6 +93,7 @@ def expected_rank_ranking(
     """
     from ..engine import QueryEngine
 
+    engine = unwrap_engine(engine)
     if engine is None:
         engine = QueryEngine(
             database,

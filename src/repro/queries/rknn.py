@@ -19,7 +19,7 @@ from typing import Iterable, Optional, TYPE_CHECKING
 from ..core import IDCA
 from ..geometry import DominationCriterion
 from ..uncertain import UncertainDatabase
-from .common import ObjectSpec, ThresholdQueryResult, ensure_engine_matches
+from .common import ObjectSpec, ThresholdQueryResult, ensure_engine_matches, unwrap_engine
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from ..engine import QueryEngine
@@ -55,7 +55,9 @@ def probabilistic_rknn_threshold(
         Optional subset of database positions to evaluate (e.g. produced by an
         application-specific filter); defaults to the full database.
     engine:
-        Optional pre-built :class:`~repro.engine.QueryEngine` to evaluate
+        Optional pre-built :class:`~repro.engine.QueryEngine` — or a
+        :class:`~repro.engine.QueryService`, whose engine and shared
+        context are then used in-process — to evaluate
         against.  Passing the same engine to repeated calls shares its
         refinement context (decomposition trees, memoised domination bounds)
         across queries, exactly like the batch API; it must have been built
@@ -65,6 +67,7 @@ def probabilistic_rknn_threshold(
     """
     from ..engine import QueryEngine
 
+    engine = unwrap_engine(engine)
     if engine is None:
         engine = QueryEngine(
             database,

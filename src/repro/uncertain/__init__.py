@@ -16,8 +16,20 @@ from .sampling import (
     pairwise_distances,
     sample_database,
 )
+from .sharedmem import (
+    SharedDatabaseExport,
+    SharedDatabaseHandle,
+    attach_shared_database,
+    database_transport,
+    shared_memory_available,
+)
 
 __all__ = [
+    "SharedDatabaseExport",
+    "SharedDatabaseHandle",
+    "attach_shared_database",
+    "database_transport",
+    "shared_memory_available",
     "UncertainDatabase",
     "UncertainObject",
     "BoxUniformObject",

@@ -32,11 +32,14 @@ machinery relies on:
 from __future__ import annotations
 
 import abc
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
 
 from ..geometry import Rectangle
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .sharedmem import SharedDatabaseExport
 
 
 class UncertainObject(abc.ABC):
@@ -137,6 +140,49 @@ class UncertainDatabase:
             if obj.dimensions != d:
                 raise ValueError("all objects must share the same dimensionality")
         self._mbr_cache: Optional[np.ndarray] = None
+        self._shared_export: Optional["SharedDatabaseExport"] = None
+
+    # ------------------------------------------------------------------ #
+    # process transport
+    # ------------------------------------------------------------------ #
+    def __reduce__(self):
+        """Pickle as a lightweight handle while a shared-memory export is
+        active; as constructor arguments otherwise.
+
+        With an active export (see :meth:`share_memory`), the pickle stream
+        carries only the block name, the object shells and the array
+        descriptors — unpickling in another process *maps* the array payload
+        instead of copying it.  Without one, the database reduces to its
+        objects plus the MBR cache (so workers on the fallback path do not
+        re-stack MBRs); the export itself never crosses the boundary.
+        """
+        export = self._shared_export
+        if export is not None and export.active:
+            from .sharedmem import attach_shared_database
+
+            return (attach_shared_database, (export.handle,))
+        return (_rebuild_database, (type(self), tuple(self._objects), self._mbr_cache))
+
+    def share_memory(self) -> "SharedDatabaseExport":
+        """Move the database's array payload into a shared-memory block.
+
+        Returns the active :class:`~repro.uncertain.sharedmem.SharedDatabaseExport`
+        (creating it on first call; repeated calls return the same export
+        while it is active).  While active, pickling this database — e.g.
+        shipping an engine to worker processes — produces a small handle that
+        workers attach instead of unpickling a full copy.  Consumers bracket
+        their use with ``export.acquire()`` / ``export.release()``; the last
+        release unlinks the block.  Raises ``RuntimeError`` when shared
+        memory is unavailable on this platform (see
+        :func:`~repro.uncertain.sharedmem.shared_memory_available`).
+        """
+        from .sharedmem import SharedDatabaseExport
+
+        if self._shared_export is not None and self._shared_export.active:
+            return self._shared_export
+        export = SharedDatabaseExport(self)
+        self._shared_export = export
+        return export
 
     # ------------------------------------------------------------------ #
     # container protocol
@@ -185,3 +231,10 @@ class UncertainDatabase:
             obj.label if obj.label is not None else f"obj-{i}"
             for i, obj in enumerate(self._objects)
         ]
+
+
+def _rebuild_database(cls, objects, mbr_cache):
+    """Unpickle target of the plain (non-shared-memory) database reduce."""
+    database = cls(list(objects))
+    database._mbr_cache = mbr_cache
+    return database

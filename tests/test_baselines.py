@@ -67,6 +67,43 @@ class TestExactPDom:
         assert estimate == pytest.approx(exact_pdom(a, b, r), abs=0.02)
 
 
+class TestMonteCarloPdomRng:
+    """Regression: default calls must be independent, not seeded to 0."""
+
+    @staticmethod
+    def _objects():
+        rng = np.random.default_rng(2)
+        a = BoxUniformObject(Rectangle.from_bounds([0.0, 0.0], [1.0, 1.0]))
+        b = BoxUniformObject(Rectangle.from_bounds([0.2, 0.2], [1.2, 1.2]))
+        r = DiscreteObject(rng.uniform(0, 1, size=(4, 2)))
+        return a, b, r
+
+    def test_default_calls_draw_fresh_entropy(self):
+        a, b, r = self._objects()
+        # a fixed default seed made every estimate identical; with fresh OS
+        # entropy, four 1000-sample estimates of a ~0.5 probability collide
+        # with probability ~1e-6
+        estimates = {monte_carlo_pdom(a, b, r, samples=1000) for _ in range(4)}
+        assert len(estimates) > 1
+
+    def test_seed_makes_estimates_reproducible(self):
+        a, b, r = self._objects()
+        first = monte_carlo_pdom(a, b, r, samples=500, seed=7)
+        second = monte_carlo_pdom(a, b, r, samples=500, seed=7)
+        assert first == second
+
+    def test_explicit_rng_still_wins(self):
+        a, b, r = self._objects()
+        first = monte_carlo_pdom(a, b, r, samples=500, rng=np.random.default_rng(3))
+        second = monte_carlo_pdom(a, b, r, samples=500, rng=np.random.default_rng(3))
+        assert first == second
+
+    def test_rng_and_seed_together_rejected(self):
+        a, b, r = self._objects()
+        with pytest.raises(ValueError, match="not both"):
+            monte_carlo_pdom(a, b, r, rng=np.random.default_rng(0), seed=1)
+
+
 class TestExactDominationCount:
     def test_pmf_is_a_distribution(self):
         database = discrete_sample_database(8, 4, seed=1)

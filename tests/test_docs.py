@@ -118,6 +118,8 @@ def test_engine_modules_have_docstrings():
         "repro.engine.executor",
         "repro.engine.requests",
         "repro.engine.scheduler",
+        "repro.engine.service",
+        "repro.uncertain.sharedmem",
     ):
         module = importlib.import_module(module_name)
         assert module.__doc__, f"{module_name} has no module docstring"

@@ -10,6 +10,8 @@ pass chains all the way back to the pre-engine implementations.
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 import pickle
 
 import pytest
@@ -119,12 +121,27 @@ def test_serial_config_matches_no_config(database, requests, serial_snapshot):
     assert engine.last_batch_report.mode == "serial"
 
 
-def test_auto_mode_resolution():
-    assert ExecutorConfig().resolve_mode(10) == "serial"
+def test_auto_mode_resolution_table(monkeypatch):
+    # explicit workers are authoritative regardless of the machine
+    assert ExecutorConfig(workers=1).resolve_mode(10) == "serial"
     assert ExecutorConfig(workers=4).resolve_mode(10) == "process"
     assert ExecutorConfig(workers=4).resolve_mode(1) == "serial"
     assert ExecutorConfig(mode="process").resolve_mode(1) == "process"
     assert ExecutorConfig(mode="serial", workers=8).resolve_mode(10) == "serial"
+    # the adaptive default derives workers from the CPU count at resolution
+    # time, so "auto" scales out on multi-core machines ...
+    monkeypatch.setattr(os, "cpu_count", lambda: 8)
+    assert ExecutorConfig().effective_workers == 8
+    assert ExecutorConfig().resolve_mode(10) == "process"
+    assert ExecutorConfig().resolve_mode(1) == "serial"  # nothing to parallelise
+    assert ExecutorConfig(mode="serial").resolve_mode(10) == "serial"
+    # ... and still means serial where there is only one core to scale to
+    monkeypatch.setattr(os, "cpu_count", lambda: 1)
+    assert ExecutorConfig().effective_workers == 1
+    assert ExecutorConfig().resolve_mode(10) == "serial"
+    monkeypatch.setattr(os, "cpu_count", lambda: None)  # cpu_count may fail
+    assert ExecutorConfig().effective_workers == 1
+    assert ExecutorConfig(workers=3).effective_workers == 3
 
 
 def test_config_validation():
@@ -298,3 +315,36 @@ def test_partition_requests_validates_arguments(requests):
         partition_requests(requests, 2, chunk_size=0)
     with pytest.raises(ValueError, match="chunking"):
         partition_requests(requests, 2, chunking="shuffle")
+
+
+# --------------------------------------------------------------------- #
+# error paths: the per-batch pool never leaks workers or shared memory
+# --------------------------------------------------------------------- #
+def test_poisoned_request_tears_per_batch_pool_down(database, requests):
+    before = set(multiprocessing.active_children())
+    engine = QueryEngine(database)
+    export = engine.database.share_memory()
+    name = export.handle.shm_name
+    try:
+        poisoned = [requests[0], KNNQuery(0, k=0, tau=0.5)]  # k=0 raises
+        config = ExecutorConfig(mode="process", workers=2, chunk_size=1)
+        with pytest.raises(ValueError, match="k must be positive"):
+            engine.evaluate_many(poisoned, executor=config)
+        # the with-block in run_process_batch reaped every worker
+        assert not (set(multiprocessing.active_children()) - before)
+        # the shared block is owned by the export, not the batch: still linked
+        assert export.active
+    finally:
+        export.close()
+    if os.path.isdir("/dev/shm"):
+        assert not os.path.exists(f"/dev/shm/{name}")
+
+
+def test_partitioning_error_raises_before_any_worker_starts(database, requests):
+    before = set(multiprocessing.active_children())
+    engine = QueryEngine(database)
+    config = ExecutorConfig(mode="process", workers=2, chunking="affinity")
+    broken = object()  # no affinity_key(): partitioning fails in the parent
+    with pytest.raises(AttributeError):
+        engine.evaluate_many([requests[0], broken], executor=config)
+    assert not (set(multiprocessing.active_children()) - before)
