@@ -56,6 +56,11 @@ class IterationStats:
     of the shared pair-bounds cache.  ``elapsed_seconds - cache_seconds`` is
     therefore the kernel-plus-aggregation time, so profiling can attribute a
     regression to the memo layer or to the arithmetic.
+
+    ``shared_hits``/``shared_misses``/``shared_publishes`` describe the
+    cross-worker shared bounds store (``repro/engine/boundstore.py``) during
+    this iteration: columns served from / missed in / published to the store.
+    They stay zero when no store is attached — e.g. on the serial path.
     """
 
     iteration: int
@@ -64,6 +69,9 @@ class IterationStats:
     num_pairs: int
     candidate_partitions: int
     cache_seconds: float = 0.0
+    shared_hits: int = 0
+    shared_misses: int = 0
+    shared_publishes: int = 0
 
 
 @dataclass
@@ -216,9 +224,7 @@ class IDCA:
         key = id(obj)
         tree = self._trees.get(key)
         if tree is None:
-            if len(self._trees) >= _TREE_CACHE_MAX:
-                for stale in list(itertools.islice(iter(self._trees), _TREE_CACHE_MAX // 10)):
-                    del self._trees[stale]
+            _evict_oldest_tenth(self._trees, _TREE_CACHE_MAX)
             tree = DecompositionTree(obj, axis_policy=self.axis_policy)
             self._trees[key] = tree
         return tree
@@ -251,10 +257,7 @@ class IDCA:
         in row-major pair order.
         """
         cache = self._pair_bounds
-        if len(cache) >= _PAIR_BOUNDS_CACHE_MAX:
-            # FIFO eviction of the oldest tenth keeps the memo bounded
-            for stale in list(itertools.islice(iter(cache), _PAIR_BOUNDS_CACHE_MAX // 10)):
-                del cache[stale]
+        _evict_oldest_tenth(cache, _PAIR_BOUNDS_CACHE_MAX)
         cache[key] = value
 
     # ------------------------------------------------------------------ #
@@ -314,6 +317,20 @@ class IDCA:
 # the scalar-per-pair memo this cache replaced
 _PAIR_BOUNDS_CACHE_MAX = 50_000
 _TREE_CACHE_MAX = 4096
+
+
+def _evict_oldest_tenth(mapping: dict, limit: int) -> None:
+    """FIFO-evict a tenth of a bounded memo once it reaches ``limit``.
+
+    The single eviction policy of every engine-side cache (tree caches and
+    both tiers of the pair-bounds memo): dict iteration order is insertion
+    order, so dropping the first tenth removes the oldest entries.  Uses
+    ``del`` so dict subclasses with ``__delitem__`` hooks (the context's
+    registering tree cache) see the eviction.
+    """
+    if len(mapping) >= limit:
+        for stale in list(itertools.islice(iter(mapping), limit // 10)):
+            del mapping[stale]
 
 
 class IDCARun:
@@ -472,6 +489,11 @@ class IDCARun:
         # partitioning.
         cache = idca._pair_bounds
         cache_seconds = 0.0
+        shared_before = (
+            getattr(cache, "shared_hits", 0),
+            getattr(cache, "shared_misses", 0),
+            getattr(cache, "shared_publishes", 0),
+        )
         missing: list[int] = []
         keys: Optional[list[tuple]] = None
         if cache is not None:
@@ -561,6 +583,10 @@ class IDCARun:
                 num_pairs=len(active),
                 candidate_partitions=max_candidate_partitions,
                 cache_seconds=cache_seconds,
+                shared_hits=getattr(cache, "shared_hits", 0) - shared_before[0],
+                shared_misses=getattr(cache, "shared_misses", 0) - shared_before[1],
+                shared_publishes=getattr(cache, "shared_publishes", 0)
+                - shared_before[2],
             )
         )
         self._iteration = iteration

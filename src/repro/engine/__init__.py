@@ -14,6 +14,12 @@ alive across every batch and ships the dataset to the workers through
 shared memory (see ``engine/service.py``).
 """
 
+from .boundstore import (
+    BoundStoreClient,
+    BoundStoreHandle,
+    SharedBoundStore,
+    bound_store_available,
+)
 from .candidates import (
     CandidateSource,
     RangeClassification,
@@ -21,13 +27,16 @@ from .candidates import (
     ScanCandidateSource,
     make_candidate_source,
 )
-from .context import CacheStats, RefinementContext
+from .context import CacheStats, RefinementContext, TieredPairBoundsCache
 from .engine import QueryEngine
 from .executor import (
     BatchReport,
     ChunkStats,
     ExecutorConfig,
     WorkerPool,
+    adaptive_chunk_size,
+    affine_partition,
+    affinity_lane,
     partition_requests,
 )
 from .requests import (
@@ -44,6 +53,8 @@ from .service import QueryService, ServiceBatch
 
 __all__ = [
     "BatchReport",
+    "BoundStoreClient",
+    "BoundStoreHandle",
     "CacheStats",
     "CandidateSource",
     "ChunkStats",
@@ -63,7 +74,13 @@ __all__ = [
     "RTreeCandidateSource",
     "ScanCandidateSource",
     "ServiceBatch",
+    "SharedBoundStore",
+    "TieredPairBoundsCache",
     "WorkerPool",
+    "adaptive_chunk_size",
+    "affine_partition",
+    "affinity_lane",
+    "bound_store_available",
     "make_candidate_source",
     "partition_requests",
 ]

@@ -1,0 +1,633 @@
+"""Cross-worker shared pair-bounds store.
+
+Since PR 1 the engine memoises the domination-bound matrix columns the
+batched kernel produces — but only per process: with ``w`` workers the
+parallel path recomputes up to ``w`` copies of every column the serial path
+computes once.  This module extends the PR-4 shared-memory machinery
+(``repro/uncertain/sharedmem.py``) from *shipping the dataset* to *sharing
+the read-mostly bounds cache itself*: one worker computes a column, every
+worker serves it.
+
+Design (the "Shared refinement cache" section of ``docs/architecture.md``
+documents the same protocol from the consumer's point of view):
+
+* **One block, three regions.**  A single ``multiprocessing.shared_memory``
+  block holds a fixed header, a fixed-slot hash index (open addressing,
+  8 bytes per slot) and one append-only *data segment per worker*.
+* **Stable keys.**  The process-local memo keys the engine uses are built
+  from process-unique tree tokens, so they cannot cross a process boundary.
+  :func:`stable_object_key` translates each participating object into a
+  process-independent identity — its database position for members, a
+  content digest for ad-hoc query objects — and
+  :meth:`~repro.engine.context.RefinementContext` derives the shared key
+  ``(axis_policy, (candidate, depth), (target, depth), (reference, depth),
+  (p, criterion))`` from it.  Entries are deterministic functions of their
+  key, so a shared hit is bit-identical to recomputation.
+* **Single-writer publish.**  Every worker appends records only to its own
+  segment, so record payloads are never written concurrently.  A record is
+  fully written *before* its index slot is published, and slot publishes are
+  serialised by one writer lock, so the index never holds a pointer to a
+  half-written record.
+* **Lock-free validated reads.**  Readers never take the lock: they read the
+  8-byte slot word, follow it into the segment and *validate* the record
+  (magic, key length, CRC of the key bytes, full key comparison, payload
+  bounds) before trusting it.  A reader that loses every race still returns
+  either ``None`` or a fully consistent column — torn reads are structurally
+  impossible because published records are immutable and validation rejects
+  anything else.
+* **Graceful fallback.**  When shared memory is unavailable (platform,
+  ``REPRO_DISABLE_SHARED_MEMORY``/``REPRO_DISABLE_SHARED_BOUNDS``), the
+  store is full, the index probe limit is exhausted, or a worker arrives
+  after every segment is claimed, publishing simply stops (or never starts)
+  and the engine falls back to the process-local memo — results stay
+  bit-identical either way, only duplicate work returns.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import multiprocessing
+import os
+import pickle
+import struct
+import weakref
+import zlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from ..uncertain.sharedmem import (
+    _OWNED_NAMES,
+    _attach_block,
+    _cleanup_block,
+    _shared_memory,
+    shared_memory_available,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..uncertain import UncertainDatabase, UncertainObject
+
+__all__ = [
+    "BoundStoreClient",
+    "BoundStoreHandle",
+    "SharedBoundStore",
+    "bound_store_available",
+    "encode_stable_key",
+    "stable_object_key",
+]
+
+#: Extra kill-switch for just the bounds store (the dataset transport keeps
+#: honouring ``REPRO_DISABLE_SHARED_MEMORY``, which disables both).
+DISABLE_BOUNDS_ENV = "REPRO_DISABLE_SHARED_BOUNDS"
+
+#: Default number of index slots (8 bytes each).
+DEFAULT_SLOTS = 8192
+
+#: Default bytes of append-only record space per worker segment.
+DEFAULT_SEGMENT_BYTES = 4 << 20
+
+#: Open-addressing probe limit; lookups and publishes give up after this many
+#: consecutive slots (the fallback is the process-local memo, never an error).
+PROBE_LIMIT = 32
+
+_HEADER_BYTES = 64
+_SLOT_BYTES = 8
+_SEGMENT_HEADER_BYTES = 16
+_RECORD_HEADER_BYTES = 16
+#: Leftover segment space below this is treated as exhausted (header plus a
+#: short key plus a one-pair column — no real record is smaller).
+_MIN_RECORD_BYTES = _RECORD_HEADER_BYTES + 64
+
+#: Consecutive probe-window exhaustions after which a writer stops trying to
+#: publish — a saturated index would otherwise cost every future publish a
+#: payload copy plus a full probe scan under the writer lock.
+_INDEX_FULL_LATCH = 8
+_STORE_MAGIC = 0x42535452  # "BSTR"
+_RECORD_MAGIC = 0x52454342  # "RECB"
+_PRESENT = 1 << 63
+
+_block_counter = itertools.count()
+
+
+def bound_store_available() -> bool:
+    """Whether the cross-worker shared bounds store can be used here.
+
+    Requires working ``multiprocessing.shared_memory`` (and honours the
+    ``REPRO_DISABLE_SHARED_MEMORY`` kill-switch through
+    :func:`~repro.uncertain.sharedmem.shared_memory_available`); the
+    dedicated ``REPRO_DISABLE_SHARED_BOUNDS`` variable disables only the
+    bounds store while keeping the dataset transport active.
+    """
+    if not shared_memory_available():
+        return False
+    if os.environ.get(DISABLE_BOUNDS_ENV):
+        return False
+    return True
+
+
+# --------------------------------------------------------------------- #
+# stable cross-process keys
+# --------------------------------------------------------------------- #
+def stable_object_key(database: "UncertainDatabase", obj: "UncertainObject") -> tuple:
+    """Process-independent identity of ``obj`` relative to ``database``.
+
+    Database members key by position (``("db", index)``) — positions are
+    identical in every process that received the same database, including
+    workers that *mapped* it through shared memory.  Ad-hoc objects (e.g.
+    query objects shipped inside requests) key by a content digest of their
+    pickle (``("pickle", hexdigest)``): the worker's unpickled copy digests
+    to the same value as the parent's original, so both sides derive the
+    same shared-store key.  The digest is memoised in a weak side table —
+    never written onto the object, which would change its future pickles
+    and therefore the digests other processes compute.  A digest mismatch
+    can only ever cause a cache *miss*, never a wrong hit, because the full
+    key is verified on every read.
+    """
+    position = database.position_of(obj)
+    if position is not None:
+        return ("db", position)
+    digest = _DIGESTS.get(obj)
+    if digest is None:
+        digest = hashlib.blake2b(
+            pickle.dumps(obj, protocol=4), digest_size=16
+        ).hexdigest()
+        _DIGESTS[obj] = digest
+    return ("pickle", digest)
+
+
+#: Content digests of ad-hoc objects, keyed weakly by the object itself so
+#: transient query objects do not accumulate.
+_DIGESTS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def encode_stable_key(key: tuple) -> bytes:
+    """Deterministic byte encoding of a stable memo key.
+
+    The key is a nested tuple of strings, ints and floats; ``repr`` is
+    deterministic for those across processes of the same interpreter, and
+    the result is only ever compared for equality, so no parsing is needed.
+    """
+    return repr(key).encode()
+
+
+def _fingerprint(key_bytes: bytes) -> int:
+    """64-bit content fingerprint used for slot addressing and tagging."""
+    return int.from_bytes(
+        hashlib.blake2b(key_bytes, digest_size=8).digest(), "little"
+    )
+
+
+def _pad8(n: int) -> int:
+    return -(-n // 8) * 8
+
+
+# --------------------------------------------------------------------- #
+# handle
+# --------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class BoundStoreHandle:
+    """What crosses the process boundary instead of the store.
+
+    Carries the block name, the store geometry and the writer lock.  The
+    lock is a :mod:`multiprocessing` primitive created from the worker
+    pool's own context, so it travels to workers through the pool's normal
+    process-creation channel (inherited under ``fork``, pickled by the
+    spawn machinery otherwise) — exactly like the pool's other initargs.
+
+    Attributes
+    ----------
+    shm_name:
+        Name of the shared-memory block holding header, index and segments.
+    num_slots:
+        Number of 8-byte hash-index slots.
+    num_segments:
+        Number of per-worker data segments.
+    segment_bytes:
+        Bytes per data segment (including its small header).
+    lock:
+        Writer lock serialising segment claims and index-slot publishes.
+        Readers never touch it.
+    """
+
+    shm_name: str
+    num_slots: int
+    num_segments: int
+    segment_bytes: int
+    lock: object
+
+
+# --------------------------------------------------------------------- #
+# client (reader in any process, writer in workers that claimed a segment)
+# --------------------------------------------------------------------- #
+class BoundStoreClient:
+    """Per-process accessor of a shared bounds store.
+
+    Reads are lock-free and allowed from any process that can attach the
+    block.  Writes require a claimed segment: :meth:`from_handle` claims the
+    next free one under the handle's lock (workers that arrive after all
+    segments are taken become read-only — a graceful degradation, not an
+    error).  All counters are process-local.
+    """
+
+    def __init__(
+        self,
+        shm,
+        handle: BoundStoreHandle,
+        segment: Optional[int],
+        owns_mapping: bool = True,
+    ):
+        self._shm = shm
+        self._buf = shm.buf
+        self._handle = handle
+        self._segment = segment
+        # reader() clients borrow the owner's mapping and must never close
+        # it; from_handle() clients attached their own and should
+        self._owns_mapping = owns_mapping
+        self._index_offset = _HEADER_BYTES
+        self._segments_offset = _HEADER_BYTES + handle.num_slots * _SLOT_BYTES
+        self._append = _SEGMENT_HEADER_BYTES
+        self._full = False
+        self._index_full_streak = 0
+        #: Successful shared lookups (validated records returned).
+        self.hits = 0
+        #: Lookups that found no valid record.
+        self.misses = 0
+        #: Columns this client published into the index.
+        self.publishes = 0
+        #: Publishes skipped because another worker already published the key.
+        self.duplicates = 0
+        #: Publishes rejected because the segment or the index was full.
+        self.rejected = 0
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_handle(cls, handle: BoundStoreHandle) -> "BoundStoreClient":
+        """Attach to the store named by ``handle`` and claim a segment.
+
+        Called inside worker processes by the pool initializer.  The
+        segment claim (a read-increment-write of the header counter) runs
+        under the handle's writer lock; when every segment is already
+        claimed the client attaches read-only.  Attaching never adopts
+        unlink responsibility — the creating process owns the block.
+        """
+        shm = _attach_block(handle.shm_name)
+        segment: Optional[int] = None
+        with handle.lock:
+            (next_segment,) = struct.unpack_from("<I", shm.buf, 24)
+            if next_segment < handle.num_segments:
+                struct.pack_into("<I", shm.buf, 24, next_segment + 1)
+                segment = next_segment
+        return cls(shm, handle, segment)
+
+    @property
+    def writable(self) -> bool:
+        """Whether this client owns a segment and can still publish into it."""
+        return self._segment is not None and not self._full
+
+    @property
+    def segment(self) -> Optional[int]:
+        """Index of the claimed data segment (``None`` for read-only clients)."""
+        return self._segment
+
+    # ------------------------------------------------------------------ #
+    # geometry helpers
+    # ------------------------------------------------------------------ #
+    def _slot_offset(self, slot: int) -> int:
+        return self._index_offset + _SLOT_BYTES * slot
+
+    def _segment_base(self, segment: int) -> int:
+        return self._segments_offset + segment * self._handle.segment_bytes
+
+    def _read_record(self, word: int, key_bytes: bytes, with_payload: bool = True):
+        """Resolve an index word to its validated record, or ``None``.
+
+        Validation order matters: every field is bounds-checked before it is
+        used to address memory, so even an (astronomically unlikely) torn
+        slot word can only produce a rejected lookup, never a torn read.
+        Returns ``None`` for invalid records and ``False`` for valid records
+        of a *different* key (fingerprint collision — keep probing).  With
+        ``with_payload=False`` a key match returns ``True`` without copying
+        the column out — used by the publish path's duplicate check, which
+        runs under the writer lock and must stay short.
+        """
+        handle = self._handle
+        segment = (word >> 32) & 0xFF
+        offset = word & 0xFFFFFFFF
+        if segment >= handle.num_segments:
+            return None
+        if offset < _SEGMENT_HEADER_BYTES:
+            return None
+        if offset + _RECORD_HEADER_BYTES > handle.segment_bytes:
+            return None
+        base = self._segment_base(segment) + offset
+        magic, key_len, num_pairs, key_crc = struct.unpack_from(
+            "<IIII", self._buf, base
+        )
+        if magic != _RECORD_MAGIC:
+            return None
+        if key_len != len(key_bytes):
+            return False
+        payload_offset = _RECORD_HEADER_BYTES + _pad8(key_len)
+        record_bytes = payload_offset + 16 * num_pairs
+        if offset + record_bytes > handle.segment_bytes:
+            return None
+        stored_key = bytes(self._buf[base + _RECORD_HEADER_BYTES : base + _RECORD_HEADER_BYTES + key_len])
+        if zlib.crc32(stored_key) != key_crc:
+            return None
+        if stored_key != key_bytes:
+            return False
+        if not with_payload:
+            return True
+        lower = np.frombuffer(
+            self._buf, dtype="<f8", count=num_pairs, offset=base + payload_offset
+        ).copy()
+        upper = np.frombuffer(
+            self._buf,
+            dtype="<f8",
+            count=num_pairs,
+            offset=base + payload_offset + 8 * num_pairs,
+        ).copy()
+        return lower, upper
+
+    # ------------------------------------------------------------------ #
+    # read path (lock-free)
+    # ------------------------------------------------------------------ #
+    def get(self, key_bytes: bytes) -> Optional[tuple[np.ndarray, np.ndarray]]:
+        """Look one bounds column up; returns ``(lower, upper)`` or ``None``.
+
+        Lock-free: probes up to :data:`PROBE_LIMIT` index slots from the
+        key's home slot, stopping at the first empty slot (entries are never
+        deleted, so an empty slot terminates the probe sequence).  Returned
+        arrays are private copies — they stay valid after the store unlinks.
+        """
+        fingerprint = _fingerprint(key_bytes)
+        tag = (fingerprint >> 41) & 0x7FFFFF
+        num_slots = self._handle.num_slots
+        home = fingerprint % num_slots
+        for i in range(PROBE_LIMIT):
+            (word,) = struct.unpack_from(
+                "<Q", self._buf, self._slot_offset((home + i) % num_slots)
+            )
+            if word == 0:
+                break
+            if not word & _PRESENT or ((word >> 40) & 0x7FFFFF) != tag:
+                continue
+            record = self._read_record(word, key_bytes)
+            if record is None or record is False:
+                continue
+            self.hits += 1
+            return record
+        self.misses += 1
+        return None
+
+    # ------------------------------------------------------------------ #
+    # write path (single writer per segment; slot publish under the lock)
+    # ------------------------------------------------------------------ #
+    def put(self, key_bytes: bytes, lower: np.ndarray, upper: np.ndarray) -> bool:
+        """Publish one bounds column; returns True when it entered the index.
+
+        The record is appended to this client's own segment *first* (no
+        other process writes there), then its index slot is published under
+        the writer lock — so a concurrent reader either finds the complete
+        record or nothing.  Returns False without error when the client is
+        read-only, the segment or the probe window is full, or another
+        worker already published the same key (the append is then rolled
+        back by simply not advancing the append cursor).
+        """
+        if self._segment is None or self._full:
+            self.rejected += 1
+            return False
+        lower = np.ascontiguousarray(lower, dtype="<f8")
+        upper = np.ascontiguousarray(upper, dtype="<f8")
+        num_pairs = int(lower.shape[0])
+        if upper.shape[0] != num_pairs:
+            raise ValueError("lower and upper bounds must have the same length")
+        handle = self._handle
+        payload_offset = _RECORD_HEADER_BYTES + _pad8(len(key_bytes))
+        record_bytes = payload_offset + 16 * num_pairs
+        if self._append + record_bytes > handle.segment_bytes:
+            # this record does not fit, but smaller columns still might —
+            # only stop trying once the leftover space is below any
+            # plausible record size
+            if handle.segment_bytes - self._append < _MIN_RECORD_BYTES:
+                self._full = True
+            self.rejected += 1
+            return False
+        base = self._segment_base(self._segment) + self._append
+        struct.pack_into(
+            "<IIII",
+            self._buf,
+            base,
+            _RECORD_MAGIC,
+            len(key_bytes),
+            num_pairs,
+            zlib.crc32(key_bytes),
+        )
+        self._buf[base + _RECORD_HEADER_BYTES : base + _RECORD_HEADER_BYTES + len(key_bytes)] = key_bytes
+        np.frombuffer(
+            self._shm.buf, dtype="<f8", count=num_pairs, offset=base + payload_offset
+        )[:] = lower
+        np.frombuffer(
+            self._shm.buf,
+            dtype="<f8",
+            count=num_pairs,
+            offset=base + payload_offset + 8 * num_pairs,
+        )[:] = upper
+
+        fingerprint = _fingerprint(key_bytes)
+        tag = (fingerprint >> 41) & 0x7FFFFF
+        num_slots = handle.num_slots
+        home = fingerprint % num_slots
+        word = _PRESENT | (tag << 40) | (self._segment << 32) | self._append
+        with handle.lock:
+            for i in range(PROBE_LIMIT):
+                slot_offset = self._slot_offset((home + i) % num_slots)
+                (existing,) = struct.unpack_from("<Q", self._buf, slot_offset)
+                if existing == 0:
+                    struct.pack_into("<Q", self._buf, slot_offset, word)
+                    self._append += record_bytes
+                    struct.pack_into(
+                        "<Q",
+                        self._buf,
+                        self._segment_base(self._segment),
+                        self._append,
+                    )
+                    self.publishes += 1
+                    self._index_full_streak = 0
+                    return True
+                if (existing >> 40) & 0x7FFFFF == tag:
+                    if self._read_record(existing, key_bytes, with_payload=False) is True:
+                        # someone else computed the same deterministic column
+                        self.duplicates += 1
+                        self._index_full_streak = 0
+                        return False
+        # probe window exhausted: the index region is (locally) saturated.
+        # A latch after several consecutive exhaustions stops future
+        # publishes from paying the payload copy plus a full probe scan
+        # under the writer lock just to fail again.
+        self.rejected += 1
+        self._index_full_streak += 1
+        if self._index_full_streak >= _INDEX_FULL_LATCH:
+            self._full = True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # introspection / lifecycle
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict:
+        """Process-local counters plus this client's segment occupancy."""
+        used = None
+        if self._segment is not None:
+            used = self._append - _SEGMENT_HEADER_BYTES
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "publishes": self.publishes,
+            "duplicates": self.duplicates,
+            "rejected": self.rejected,
+            "segment": self._segment,
+            "segment_used_bytes": used,
+        }
+
+    def close(self) -> None:
+        """Detach this client (never unlinks — the creator owns that).
+
+        Only closes the underlying mapping when this client attached it
+        itself; a client borrowed from :meth:`SharedBoundStore.reader`
+        leaves the owner's mapping intact.
+        """
+        self._buf = None
+        if self._owns_mapping:
+            try:
+                self._shm.close()
+            except Exception:  # pragma: no cover - already detached
+                pass
+
+
+# --------------------------------------------------------------------- #
+# parent-side owner
+# --------------------------------------------------------------------- #
+class SharedBoundStore:
+    """Parent-side owner of one shared bounds block.
+
+    Created by :class:`~repro.engine.service.QueryService` (one per service)
+    before its worker pool starts; the :attr:`handle` travels to every
+    worker through the pool initializer, where
+    :meth:`BoundStoreClient.from_handle` attaches and claims a segment.  The
+    creating process owns the block and unlinks it on :meth:`close` (with a
+    :mod:`weakref` finalizer backing interpreter-exit and GC paths, like the
+    dataset export).
+    """
+
+    def __init__(
+        self,
+        num_slots: int = DEFAULT_SLOTS,
+        num_segments: int = 2,
+        segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+        mp_context=None,
+    ):
+        if not bound_store_available():
+            raise RuntimeError(
+                "the shared bounds store is unavailable "
+                f"(no shared memory, or disabled via {DISABLE_BOUNDS_ENV})"
+            )
+        if num_slots < 64:
+            raise ValueError("num_slots must be at least 64")
+        if not 1 <= num_segments <= 255:
+            raise ValueError("num_segments must be between 1 and 255")
+        if segment_bytes < 4096:
+            raise ValueError("segment_bytes must be at least 4096")
+        if segment_bytes > 0xFFFFFFFF:
+            raise ValueError("segment_bytes must fit 32-bit record offsets")
+        total = _HEADER_BYTES + num_slots * _SLOT_BYTES + num_segments * segment_bytes
+        name = f"repro_bs_{os.getpid()}_{next(_block_counter)}"
+        self._shm = _shared_memory.SharedMemory(create=True, size=total, name=name)
+        # POSIX shared memory is zero-filled on creation, so the index and
+        # the segment claim counter start empty; only the header identity
+        # fields need writing.
+        struct.pack_into(
+            "<IIII", self._shm.buf, 0, _STORE_MAGIC, 1, num_slots, num_segments
+        )
+        struct.pack_into("<Q", self._shm.buf, 16, segment_bytes)
+        context = mp_context if mp_context is not None else multiprocessing
+        self.handle = BoundStoreHandle(
+            shm_name=self._shm.name,
+            num_slots=num_slots,
+            num_segments=num_segments,
+            segment_bytes=segment_bytes,
+            lock=context.Lock(),
+        )
+        #: Total bytes of the shared block (header + index + segments).
+        self.nbytes = total
+        self._active = True
+        _OWNED_NAMES.add(self._shm.name)
+        self._finalizer = weakref.finalize(self, _cleanup_block, self._shm)
+
+    @property
+    def active(self) -> bool:
+        """Whether the block is still linked (clients can attach)."""
+        return self._active
+
+    def reader(self) -> BoundStoreClient:
+        """A read-only client over the owner's own mapping (for stats/tests).
+
+        The client borrows this store's mapping: closing it does not unmap
+        the owner's block.
+        """
+        return BoundStoreClient(
+            self._shm, self.handle, segment=None, owns_mapping=False
+        )
+
+    def stats(self) -> dict:
+        """Global occupancy: filled slots and per-segment used bytes."""
+        handle = self.handle
+        buf = self._shm.buf
+        # one vectorised read instead of num_slots unpack calls; the
+        # snapshot is racy against concurrent publishes but monotonic
+        filled = int(
+            np.count_nonzero(
+                np.frombuffer(
+                    buf, dtype="<u8", count=handle.num_slots, offset=_HEADER_BYTES
+                )
+            )
+        )
+        (claimed,) = struct.unpack_from("<I", buf, 24)
+        segments_offset = _HEADER_BYTES + handle.num_slots * _SLOT_BYTES
+        used = []
+        for segment in range(min(claimed, handle.num_segments)):
+            (cursor,) = struct.unpack_from(
+                "<Q", buf, segments_offset + segment * handle.segment_bytes
+            )
+            used.append(max(0, cursor - _SEGMENT_HEADER_BYTES))
+        return {
+            "num_slots": handle.num_slots,
+            "filled_slots": filled,
+            "claimed_segments": int(claimed),
+            "segment_used_bytes": used,
+            "nbytes": self.nbytes,
+        }
+
+    def close(self) -> None:
+        """Unlink the block (idempotent).
+
+        Existing attachments keep their mappings until they exit — POSIX
+        keeps unlinked segments alive while mapped — but new processes can
+        no longer attach.
+        """
+        if not self._active:
+            return
+        self._active = False
+        self._finalizer.detach()
+        _cleanup_block(self._shm)
+
+    def __enter__(self) -> "SharedBoundStore":
+        """Context-manager entry: the store itself."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Context-manager exit: unlink the block."""
+        self.close()

@@ -16,20 +16,34 @@ IDCA performs per candidate is positionally identical across those runs:
 :class:`RefinementContext` owns both memos and hands out IDCA instances wired
 to them, so every run launched through the same context — including every
 query of a batch — amortises the decomposition and bound computations.
+
+Since PR 5 the pair-bounds memo is **tiered**: worker processes attach a
+:class:`~repro.engine.boundstore.BoundStoreClient` over the service's shared
+bounds store, and :class:`TieredPairBoundsCache` reads through to it on local
+misses and writes freshly computed columns back.  Shared entries are
+deterministic functions of their (process-independent) key, so the tier only
+ever removes recomputation — results are bit-identical with or without it.
 """
 
 from __future__ import annotations
 
-import itertools
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from ..core import IDCA
-from ..core.idca import _TREE_CACHE_MAX
+from ..core.idca import _PAIR_BOUNDS_CACHE_MAX, _TREE_CACHE_MAX, _evict_oldest_tenth
 from ..geometry import DominationCriterion
 from ..uncertain import DecompositionTree, UncertainDatabase, UncertainObject
 from ..uncertain.decomposition import AxisPolicy
+from .boundstore import encode_stable_key, stable_object_key
 
-__all__ = ["CacheStats", "RefinementContext"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .boundstore import BoundStoreClient
+
+__all__ = ["CacheStats", "RefinementContext", "TieredPairBoundsCache"]
+
+#: Bound on the encoded-key memo; on overflow it is simply reset (entries
+#: rebuild on use), matching the churn bound of the pair-bounds cache.
+_ENCODED_KEYS_MAX = _PAIR_BOUNDS_CACHE_MAX
 
 
 class CacheStats(dict):
@@ -54,6 +68,95 @@ class CacheStats(dict):
         return value
 
 
+class TieredPairBoundsCache(CacheStats):
+    """Pair-bounds memo with an optional shared cross-worker tier.
+
+    Tier 1 is the ordinary process-local dict (``hits``/``misses`` keep
+    their PR-2 meaning: local-tier outcomes).  When the owning context has a
+    shared store attached, a local miss falls through to the store
+    (``shared_hits``/``shared_misses``), and every locally inserted column
+    is published back (``shared_publishes``).  Shared hits are installed
+    into the local dict so follow-up lookups stay in tier 1.
+
+    The shared tier can only serve a column that some worker deterministically
+    computed for the *same* stable key, so consulting it never changes
+    results — the fallback (store missing, full, or key untranslatable)
+    is always "compute locally", exactly the pre-store behaviour.
+    """
+
+    def __init__(self, context: "RefinementContext") -> None:
+        super().__init__()
+        self._context = context
+        self.shared_hits = 0
+        self.shared_misses = 0
+        self.shared_publishes = 0
+
+    def get(self, key, default=None):
+        """Tiered lookup: local dict first, then the shared store."""
+        value = dict.get(self, key, default)
+        if value is not default:
+            self.hits += 1
+            return value
+        store = self._context.shared_store
+        if store is not None:
+            encoded = self._context.stable_pair_key(key)
+            if encoded is not None:
+                entry = store.get(encoded)
+                if entry is not None:
+                    self.shared_hits += 1
+                    # install locally so hot keys stay in tier 1, evicting
+                    # like the compute path does — never skipping, which
+                    # would re-fetch hot columns from shm forever
+                    _evict_oldest_tenth(self, _PAIR_BOUNDS_CACHE_MAX)
+                    dict.__setitem__(self, key, entry)
+                    return entry
+                self.shared_misses += 1
+        self.misses += 1
+        return default
+
+    def __setitem__(self, key, value) -> None:
+        """Insert locally and publish the column to the shared store."""
+        dict.__setitem__(self, key, value)
+        store = self._context.shared_store
+        if store is not None and store.writable:
+            encoded = self._context.stable_pair_key(key)
+            if encoded is not None and store.put(encoded, value[0], value[1]):
+                self.shared_publishes += 1
+
+    def reset_counters(self) -> None:
+        """Zero all hit/miss/publish counters (cache contents untouched)."""
+        self.hits = 0
+        self.misses = 0
+        self.shared_hits = 0
+        self.shared_misses = 0
+        self.shared_publishes = 0
+
+
+class _RegisteringTreeCache(dict):
+    """Tree cache that reports every admitted tree to its context.
+
+    The context needs a ``tree token -> stable object key`` translation to
+    derive shared-store keys, and trees enter the cache from two places
+    (:meth:`RefinementContext.tree_for` and ``IDCA._tree_for``, which share
+    this mapping).  Hooking ``__setitem__``/``__delitem__`` catches both
+    without the IDCA layer knowing the store exists.
+    """
+
+    def __init__(self, context: "RefinementContext") -> None:
+        super().__init__()
+        self._context = context
+
+    def __setitem__(self, key, tree) -> None:
+        """Admit a tree and register its token translation."""
+        super().__setitem__(key, tree)
+        self._context._register_tree(tree)
+
+    def __delitem__(self, key) -> None:
+        """Evict a tree and drop its token translation."""
+        tree = super().pop(key)
+        self._context._token_keys.pop(tree.token, None)
+
+
 class RefinementContext:
     """Decomposition and domination-bound memos shared between IDCA runs.
 
@@ -76,8 +179,13 @@ class RefinementContext:
     ):
         self.database = database
         self.axis_policy: AxisPolicy = axis_policy
-        self.tree_cache: dict[int, DecompositionTree] = {}
-        self.pair_bounds_cache = CacheStats()
+        self.tree_cache: dict[int, DecompositionTree] = _RegisteringTreeCache(self)
+        self.pair_bounds_cache = TieredPairBoundsCache(self)
+        #: Optional :class:`~repro.engine.boundstore.BoundStoreClient` — the
+        #: cross-worker shared tier.  ``None`` means purely local memoisation.
+        self.shared_store: Optional["BoundStoreClient"] = None
+        self._token_keys: dict[int, tuple] = {}
+        self._encoded_keys: dict[tuple, Optional[bytes]] = {}
         self._idca_instances: dict[tuple, IDCA] = {}
 
     def __reduce__(self):
@@ -92,11 +200,13 @@ class RefinementContext:
         (see ``engine/executor.py``).  Memoised bounds are deterministic, so
         rebuilding them locally never changes results.
 
-        The database itself decides its own transport: with an active
-        shared-memory export (``UncertainDatabase.share_memory``) it pickles
-        to a lightweight handle that workers *attach* — so shipping a context
-        costs kilobytes regardless of database size — and to a full copy
-        otherwise.  Either way this reduce stays cache-free.
+        The shared-store client is likewise never shipped: workers attach
+        their own through the pool initializer (the handle travels as an
+        initarg, not inside the engine payload).  The database itself decides
+        its own transport: with an active shared-memory export
+        (``UncertainDatabase.share_memory``) it pickles to a lightweight
+        handle that workers *attach* — so shipping a context costs kilobytes
+        regardless of database size — and to a full copy otherwise.
         """
         return (type(self), (self.database, self.axis_policy))
 
@@ -114,10 +224,7 @@ class RefinementContext:
         key = id(obj)
         tree = self.tree_cache.get(key)
         if tree is None:
-            if len(self.tree_cache) >= _TREE_CACHE_MAX:
-                stale = list(itertools.islice(iter(self.tree_cache), _TREE_CACHE_MAX // 10))
-                for old in stale:
-                    del self.tree_cache[old]
+            _evict_oldest_tenth(self.tree_cache, _TREE_CACHE_MAX)
             tree = DecompositionTree(obj, axis_policy=self.axis_policy)
             self.tree_cache[key] = tree
         return tree
@@ -153,20 +260,89 @@ class RefinementContext:
         return idca
 
     # ------------------------------------------------------------------ #
+    # shared bounds store (cross-worker tier)
+    # ------------------------------------------------------------------ #
+    def attach_shared_store(self, client: "BoundStoreClient") -> None:
+        """Install a shared bounds store as the cache's second tier.
+
+        Called by the worker-pool initializer after the engine is unpickled
+        (the handle travels next to the engine payload, never inside it).
+        Trees created before attachment are registered retroactively so
+        their tokens translate too.
+        """
+        self.shared_store = client
+        self._encoded_keys.clear()  # drop "stay local" verdicts cached pre-attach
+        for tree in self.tree_cache.values():
+            self._register_tree(tree)
+
+    def _register_tree(self, tree: DecompositionTree) -> None:
+        """Record the stable identity behind a tree's process-unique token."""
+        if self.shared_store is None:
+            return
+        if tree.token not in self._token_keys:
+            self._token_keys[tree.token] = stable_object_key(self.database, tree.obj)
+
+    def stable_pair_key(self, key: tuple) -> Optional[bytes]:
+        """Translate a process-local memo key into encoded shared-store bytes.
+
+        The local key is ``((candidate token, depth), (target token, depth),
+        (reference token, depth), (p, criterion))``; each token is swapped
+        for the stable identity registered at tree creation.  Returns
+        ``None`` — "stay local" — when any token is unknown, which can only
+        happen for trees created outside this context's caches.
+
+        The translation is memoised per local key (bounded), because the
+        tiered cache encodes each cold key twice — once on the lookup miss
+        and once when publishing the freshly computed column.
+        """
+        if key in self._encoded_keys:
+            return self._encoded_keys[key]
+        encoded = self._encode_pair_key(key)
+        if len(self._encoded_keys) >= _ENCODED_KEYS_MAX:
+            self._encoded_keys.clear()  # cheap reset; entries rebuild on use
+        self._encoded_keys[key] = encoded
+        return encoded
+
+    def _encode_pair_key(self, key: tuple) -> Optional[bytes]:
+        """Uncached translation behind :meth:`stable_pair_key`."""
+        try:
+            (candidate, target, reference, config) = key
+        except (TypeError, ValueError):  # pragma: no cover - foreign key shape
+            return None
+        stable = []
+        for token, depth in (candidate, target, reference):
+            identity = self._token_keys.get(token)
+            if identity is None:
+                return None
+            stable.append((identity, depth))
+        return encode_stable_key(("pb1", self.axis_policy, *stable, config))
+
+    # ------------------------------------------------------------------ #
     # introspection
     # ------------------------------------------------------------------ #
     def stats(self) -> dict:
-        """Cache occupancy and hit counters (used by the batch benchmark)."""
+        """Cache occupancy and hit counters (used by the batch reports).
+
+        ``pair_bounds_hits``/``pair_bounds_misses`` describe the local tier;
+        the ``shared_*`` counters describe the cross-worker tier (all zero
+        while no store is attached).
+        """
+        cache = self.pair_bounds_cache
         return {
             "trees": len(self.tree_cache),
-            "pair_bounds": len(self.pair_bounds_cache),
-            "pair_bounds_hits": self.pair_bounds_cache.hits,
-            "pair_bounds_misses": self.pair_bounds_cache.misses,
+            "pair_bounds": len(cache),
+            "pair_bounds_hits": cache.hits,
+            "pair_bounds_misses": cache.misses,
+            "shared_hits": cache.shared_hits,
+            "shared_misses": cache.shared_misses,
+            "shared_publishes": cache.shared_publishes,
+            "shared_store": self.shared_store is not None,
         }
 
     def clear(self) -> None:
         """Drop all cached state (keeps the handed-out IDCA instances valid)."""
         self.tree_cache.clear()
+        self._token_keys.clear()
+        self._encoded_keys.clear()
         self.pair_bounds_cache.clear()
-        self.pair_bounds_cache.hits = 0
-        self.pair_bounds_cache.misses = 0
+        self.pair_bounds_cache.reset_counters()

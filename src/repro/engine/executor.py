@@ -49,13 +49,15 @@ import multiprocessing
 import os
 import pickle
 import sys
+import threading
 import time
 from collections import Counter
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Literal, Optional, Sequence
+from typing import TYPE_CHECKING, Literal, Optional, Sequence, Union
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .boundstore import BoundStoreHandle, SharedBoundStore
     from .engine import QueryEngine
     from .requests import QueryRequest
 
@@ -64,13 +66,51 @@ __all__ = [
     "ChunkStats",
     "ExecutorConfig",
     "WorkerPool",
+    "adaptive_chunk_size",
+    "affine_partition",
+    "affinity_lane",
     "partition_requests",
     "result_iteration_stats",
     "run_chunk_on_engine",
+    "validate_chunk_size",
 ]
 
 ExecutionMode = Literal["auto", "serial", "process"]
 ChunkingStrategy = Literal["affinity", "contiguous"]
+
+#: ``chunk_size`` value requesting cost-adaptive sizing from batch history.
+ADAPTIVE = "adaptive"
+
+#: Cost-adaptive chunking aims for chunks of roughly this much worker time:
+#: small enough to keep all workers busy at the tail of a batch, large
+#: enough that per-chunk dispatch overhead stays negligible.
+ADAPTIVE_TARGET_CHUNK_SECONDS = 0.2
+
+
+def validate_chunk_size(value) -> None:
+    """Reject anything but a positive int, ``None`` or ``"adaptive"``.
+
+    Shared by :class:`ExecutorConfig` construction and the per-call
+    overrides of :meth:`~repro.engine.service.QueryService.submit`, so an
+    invalid value always fails with this message instead of an opaque type
+    error deep in partitioning.
+    """
+    if value is None:
+        return
+    if isinstance(value, str):
+        if value != ADAPTIVE:
+            raise ValueError(
+                f"chunk_size must be a positive integer, None or "
+                f"{ADAPTIVE!r}, got {value!r}"
+            )
+        return
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ValueError(
+            f"chunk_size must be a positive integer, None or "
+            f"{ADAPTIVE!r}, got {value!r}"
+        )
+    if value <= 0:
+        raise ValueError(f"chunk_size must be at least 1 when given, got {value}")
 
 
 @dataclass(frozen=True)
@@ -96,35 +136,59 @@ class ExecutorConfig:
     chunk_size:
         Optional cap on requests per chunk.  ``None`` derives one chunk per
         worker (contiguous) or one chunk per affinity bucket (affinity).
-        Results never depend on this value — it only trades scheduling
-        granularity against per-chunk overhead.
+        The string ``"adaptive"`` asks the executor to derive the cap from
+        observed per-request cost in :class:`BatchReport` history (no
+        history yet behaves like ``None``; under lane-pinned ``"affinity"``
+        dispatch in a service it resolves to ``None``, because splitting a
+        pinned bucket cannot rebalance work).  Results never depend on this
+        value — it only trades scheduling granularity against per-chunk
+        overhead.
     chunking:
         ``"affinity"`` (default) groups requests that share a query object
         into the same chunk so a worker's local caches serve the repeats;
-        ``"contiguous"`` splits the batch in request order.
+        ``"contiguous"`` splits the batch in request order.  Under a
+        :class:`~repro.engine.service.QueryService`, affinity chunks are
+        additionally *pinned*: the bucket's lane is a stable hash of the
+        affinity key, so the same query object lands on the same worker in
+        every successive batch (see :func:`affine_partition`).
     start_method:
         Optional :mod:`multiprocessing` start method.  ``None`` prefers
         ``"fork"`` when the platform offers it (cheapest on Linux) and falls
         back to the platform default otherwise.  All methods receive the same
         explicitly pickled engine payload, so cache state is identical —
         empty — regardless of the start method.
+    shared_bounds:
+        Whether a :class:`~repro.engine.service.QueryService` should back its
+        pool with a cross-worker shared bounds store
+        (``engine/boundstore.py``).  ``None`` (default) enables it exactly
+        when :func:`~repro.engine.boundstore.bound_store_available` says the
+        platform supports it; ``True`` requires it (construction raises when
+        unavailable); ``False`` forces purely process-local memoisation.
+        Ignored by the per-batch pool path, whose caches die with the batch.
     """
 
     mode: ExecutionMode = "auto"
     workers: Optional[int] = None
-    chunk_size: Optional[int] = None
+    chunk_size: Optional[Union[int, str]] = None
     chunking: ChunkingStrategy = "affinity"
     start_method: Optional[str] = None
+    shared_bounds: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if self.mode not in ("auto", "serial", "process"):
             raise ValueError(f"unknown execution mode {self.mode!r}")
         if self.chunking not in ("affinity", "contiguous"):
             raise ValueError(f"unknown chunking strategy {self.chunking!r}")
-        if self.workers is not None and self.workers < 1:
-            raise ValueError("workers must be at least 1 when given")
-        if self.chunk_size is not None and self.chunk_size < 1:
-            raise ValueError("chunk_size must be at least 1 when given")
+        if self.workers is not None:
+            if not isinstance(self.workers, int) or isinstance(self.workers, bool):
+                raise ValueError(f"workers must be an integer, got {self.workers!r}")
+            if self.workers <= 0:
+                raise ValueError(
+                    f"workers must be at least 1 when given, got {self.workers}"
+                )
+        validate_chunk_size(self.chunk_size)
+        if self.shared_bounds not in (None, True, False):
+            raise ValueError("shared_bounds must be True, False or None")
 
     @property
     def effective_workers(self) -> int:
@@ -156,7 +220,11 @@ class ChunkStats:
     Cache counters are deltas over the chunk (a worker's context persists
     across the chunks it executes); ``trees`` is the occupancy of the
     worker's tree cache *after* the chunk, i.e. how much decomposition state
-    the worker has accumulated so far.
+    the worker has accumulated so far.  The ``shared_*`` deltas describe the
+    cross-worker bounds store (zero when no store is attached):
+    ``shared_hits`` columns served from the store instead of the kernel,
+    ``shared_misses`` store lookups that fell through to computation, and
+    ``shared_publishes`` freshly computed columns this worker published.
     """
 
     chunk: int
@@ -170,6 +238,9 @@ class ChunkStats:
     trees: int
     pair_bounds_hits: int
     pair_bounds_misses: int
+    shared_hits: int = 0
+    shared_misses: int = 0
+    shared_publishes: int = 0
 
 
 @dataclass(frozen=True)
@@ -234,6 +305,64 @@ class BatchReport:
         return sum(stats.pair_bounds_misses for stats in self.chunks)
 
     @property
+    def shared_hits(self) -> int:
+        """Bounds columns served from the cross-worker store, all workers."""
+        return sum(stats.shared_hits for stats in self.chunks)
+
+    @property
+    def shared_misses(self) -> int:
+        """Shared-store lookups that fell through to computation, all workers."""
+        return sum(stats.shared_misses for stats in self.chunks)
+
+    @property
+    def shared_publishes(self) -> int:
+        """Bounds columns published into the cross-worker store, all workers."""
+        return sum(stats.shared_publishes for stats in self.chunks)
+
+    @property
+    def shared_hit_rate(self) -> float:
+        """Fraction of local-cache misses the shared store absorbed.
+
+        ``shared_hits / (shared_hits + shared_misses)`` — i.e. of the
+        lookups that could not be served worker-locally, how many the
+        cross-worker store answered.  ``0.0`` when the store was never
+        consulted (serial path, store disabled, or every lookup hit the
+        local tier).
+        """
+        consulted = self.shared_hits + self.shared_misses
+        if consulted == 0:
+            return 0.0
+        return self.shared_hits / consulted
+
+    @property
+    def worker_cache_summaries(self) -> dict[int, dict[str, int]]:
+        """Per-worker cache counters, merged over each worker's chunks.
+
+        Maps worker pid to its summed ``shared_hits`` / ``shared_publishes``
+        and local-tier ``local_hits`` / ``local_misses`` deltas — the
+        per-worker view behind the aggregate properties, used by the
+        shared-store benchmark to show where duplicate work went.
+        """
+        summaries: dict[int, dict[str, int]] = {}
+        for stats in self.chunks:
+            entry = summaries.setdefault(
+                stats.pid,
+                {
+                    "chunks": 0,
+                    "shared_hits": 0,
+                    "shared_publishes": 0,
+                    "local_hits": 0,
+                    "local_misses": 0,
+                },
+            )
+            entry["chunks"] += 1
+            entry["shared_hits"] += stats.shared_hits
+            entry["shared_publishes"] += stats.shared_publishes
+            entry["local_hits"] += stats.pair_bounds_hits
+            entry["local_misses"] += stats.pair_bounds_misses
+        return summaries
+
+    @property
     def kinds(self) -> dict[str, int]:
         """Request counts per query kind, merged over all chunks."""
         merged: Counter[str] = Counter()
@@ -264,9 +393,24 @@ class BatchReport:
             "result_seconds": self.result_seconds,
             "pair_bounds_hits": self.pair_bounds_hits,
             "pair_bounds_misses": self.pair_bounds_misses,
+            "shared_hits": self.shared_hits,
+            "shared_misses": self.shared_misses,
+            "shared_publishes": self.shared_publishes,
+            "shared_hit_rate": self.shared_hit_rate,
             "kinds": self.kinds,
             "chunk_sizes": [stats.size for stats in self.chunks],
         }
+
+    def __str__(self) -> str:
+        """One-line execution summary (used by the benchmarks' progress output)."""
+        return (
+            f"BatchReport({self.mode}/{self.pool}, workers={self.workers}, "
+            f"{self.num_requests} req in {self.num_chunks} chunks, "
+            f"{self.elapsed_seconds * 1e3:.1f} ms, "
+            f"local {self.pair_bounds_hits}H/{self.pair_bounds_misses}M, "
+            f"shared {self.shared_hits}H/{self.shared_misses}M/"
+            f"{self.shared_publishes}P)"
+        )
 
 
 # --------------------------------------------------------------------- #
@@ -330,6 +474,83 @@ def partition_requests(
     return chunks
 
 
+def affinity_lane(key, workers: int) -> int:
+    """Worker lane of an affinity key: a stable hash modulo the pool size.
+
+    Stable *within a process*: ``hash`` of the key tuples the requests build
+    (small ints and interned tags, plus ``id()`` for ad-hoc objects) does
+    not vary between calls, so successive batches submitted to the same
+    :class:`~repro.engine.service.QueryService` route a recurring query
+    object to the same worker — whose local caches already hold its trees
+    and bounds columns.  The lane never influences results, only which
+    worker's cache gets warmed.
+    """
+    return hash(key) % workers
+
+
+def affine_partition(
+    requests: Sequence["QueryRequest"],
+    workers: int,
+    chunk_size: Optional[int] = None,
+) -> tuple[list[list[int]], list[int]]:
+    """Partition a batch into chunks pinned to stable worker lanes.
+
+    Like :func:`partition_requests` with ``chunking="affinity"``, but the
+    bucket of each affinity key goes to the lane :func:`affinity_lane`
+    assigns — a function of the key alone, not of the batch — so follow-up
+    batches land on the same workers' warm caches.  Returns ``(chunks,
+    lanes)`` with one lane per chunk; every request index appears in exactly
+    one chunk, so reassembly by index reproduces request order.
+
+    The trade-off versus the load-balanced assignment: a skewed batch can
+    leave lanes idle.  The shared bounds store covers the complementary
+    case (a request *moving* workers finds the bounds already published);
+    together they bound duplicate work from both directions.
+    """
+    if workers < 1:
+        raise ValueError("workers must be at least 1")
+    if chunk_size is not None and chunk_size < 1:
+        raise ValueError("chunk_size must be at least 1 when given")
+    buckets: dict[int, list[int]] = {}
+    for index, request in enumerate(requests):
+        buckets.setdefault(affinity_lane(request.affinity_key(), workers), []).append(
+            index
+        )
+    chunks: list[list[int]] = []
+    lanes: list[int] = []
+    for lane in sorted(buckets):
+        for part in _split(buckets[lane], chunk_size):
+            chunks.append(part)
+            lanes.append(lane)
+    return chunks, lanes
+
+
+def adaptive_chunk_size(
+    num_requests: int,
+    workers: int,
+    seconds_per_request: Optional[float],
+    target_chunk_seconds: float = ADAPTIVE_TARGET_CHUNK_SECONDS,
+) -> Optional[int]:
+    """Chunk-size cap derived from observed per-request cost.
+
+    Sizes chunks to roughly ``target_chunk_seconds`` of worker time each —
+    cheap requests batch up (amortising per-chunk dispatch overhead),
+    expensive requests split down (so a straggler chunk cannot idle the
+    rest of the pool at the tail of a batch).  The cap never exceeds an
+    even ``num_requests / workers`` split and never drops below 1; with no
+    cost history (``seconds_per_request`` is ``None`` or non-positive) the
+    answer is ``None`` — the executor's default chunking.  Chunk size never
+    affects results, so adapting it between batches is always safe.
+    """
+    if seconds_per_request is None or seconds_per_request <= 0:
+        return None
+    if num_requests <= 0:
+        return None
+    even = max(1, math.ceil(num_requests / max(1, workers)))
+    size = int(round(target_chunk_seconds / seconds_per_request))
+    return max(1, min(size if size > 0 else 1, even))
+
+
 # --------------------------------------------------------------------- #
 # worker side
 # --------------------------------------------------------------------- #
@@ -375,10 +596,28 @@ def result_iteration_stats(results: Sequence) -> tuple[int, float]:
     return iterations, seconds
 
 
-def _initialise_worker(payload: bytes) -> None:
-    """Pool initializer: unpack the engine shipped by the parent process."""
+def _initialise_worker(
+    payload: bytes, bound_store_handle: Optional["BoundStoreHandle"] = None
+) -> None:
+    """Pool initializer: unpack the engine shipped by the parent process.
+
+    With a bound-store handle (shipped as a separate initarg, never inside
+    the engine payload), the worker additionally attaches the cross-worker
+    shared bounds store and claims a publish segment; any failure to attach
+    degrades silently to process-local memoisation — the graceful-fallback
+    rule of ``engine/boundstore.py``.
+    """
     global _WORKER_ENGINE
     _WORKER_ENGINE = pickle.loads(payload)
+    if bound_store_handle is not None:
+        from .boundstore import BoundStoreClient
+
+        try:
+            client = BoundStoreClient.from_handle(bound_store_handle)
+        except Exception:  # block gone or platform refused: local caches only
+            client = None
+        if client is not None:
+            _WORKER_ENGINE.context.attach_shared_store(client)
 
 
 def run_chunk_on_engine(
@@ -411,6 +650,10 @@ def run_chunk_on_engine(
         trees=after["trees"],
         pair_bounds_hits=after["pair_bounds_hits"] - before["pair_bounds_hits"],
         pair_bounds_misses=after["pair_bounds_misses"] - before["pair_bounds_misses"],
+        shared_hits=after.get("shared_hits", 0) - before.get("shared_hits", 0),
+        shared_misses=after.get("shared_misses", 0) - before.get("shared_misses", 0),
+        shared_publishes=after.get("shared_publishes", 0)
+        - before.get("shared_publishes", 0),
     )
     return results, stats
 
@@ -481,6 +724,20 @@ class WorkerPool:
     pool per batch; a :class:`~repro.engine.service.QueryService` keeps one
     alive across its whole lifetime, which is where pool startup and cache
     warm-up amortisation actually pay off.
+
+    Internally the pool is a set of single-worker **lanes** (one
+    ``ProcessPoolExecutor`` of one process each).  Chunks submitted without
+    a lane go to the least-loaded lane; chunks submitted *with* one run on
+    exactly that worker — which is what lets the service pin affinity
+    buckets of successive batches to the worker whose caches already hold
+    their state (:func:`affine_partition`).  Lane choice never influences
+    results, only where warm-up happens.
+
+    With ``bound_store`` set, every worker also attaches the store and
+    claims a publish segment through the initializer — the handle travels
+    next to the engine payload, through the pool's ordinary process-creation
+    channel (its lock is inherited under ``fork`` and pickled by the spawn
+    machinery otherwise).
     """
 
     def __init__(
@@ -488,17 +745,25 @@ class WorkerPool:
         engine: "QueryEngine",
         workers: int,
         start_method: Optional[str] = None,
+        bound_store: Optional["SharedBoundStore"] = None,
     ):
         if workers < 1:
             raise ValueError("workers must be at least 1")
         self.workers = workers
         self._payload = pickle.dumps(engine)
-        self._executor = ProcessPoolExecutor(
-            max_workers=workers,
-            mp_context=_pool_context(start_method),
-            initializer=_initialise_worker,
-            initargs=(self._payload,),
-        )
+        context = _pool_context(start_method)
+        handle = bound_store.handle if bound_store is not None else None
+        self._lanes = [
+            ProcessPoolExecutor(
+                max_workers=1,
+                mp_context=context,
+                initializer=_initialise_worker,
+                initargs=(self._payload, handle),
+            )
+            for _ in range(workers)
+        ]
+        self._pending = [0] * workers
+        self._pending_lock = threading.Lock()
         self._closed = False
 
     @property
@@ -511,44 +776,117 @@ class WorkerPool:
         """Whether :meth:`close` has run (a closed pool accepts no chunks)."""
         return self._closed
 
-    def submit_chunk(self, chunk_index: int, requests: Sequence["QueryRequest"]):
-        """Dispatch one chunk; resolves to ``(chunk_index, results, stats)``."""
-        return self._executor.submit(_run_chunk, chunk_index, list(requests))
+    def submit_chunk(
+        self,
+        chunk_index: int,
+        requests: Sequence["QueryRequest"],
+        lane: Optional[int] = None,
+    ):
+        """Dispatch one chunk; resolves to ``(chunk_index, results, stats)``.
+
+        ``lane=None`` picks the lane with the fewest outstanding chunks
+        (ties to the lowest index); an explicit lane pins the chunk to that
+        worker.  Out-of-range lanes wrap modulo the pool size, so lane
+        assignments computed for a larger pool degrade gracefully.
+        """
+        with self._pending_lock:
+            if lane is None:
+                lane = min(range(self.workers), key=lambda i: (self._pending[i], i))
+            else:
+                lane %= self.workers
+            self._pending[lane] += 1
+        try:
+            future = self._lanes[lane].submit(_run_chunk, chunk_index, list(requests))
+        except BaseException:
+            # e.g. a broken lane: undo the reservation so least-loaded
+            # selection is not skewed for the pool's remaining lifetime
+            self._release_lane(lane)
+            raise
+        future.add_done_callback(lambda _f, lane=lane: self._release_lane(lane))
+        return future
+
+    def _release_lane(self, lane: int) -> None:
+        with self._pending_lock:
+            self._pending[lane] -= 1
 
     def run_chunks(
-        self, requests: Sequence["QueryRequest"], chunks: Sequence[Sequence[int]]
+        self,
+        requests: Sequence["QueryRequest"],
+        chunks: Sequence[Sequence[int]],
+        lanes: Optional[Sequence[int]] = None,
     ) -> tuple[list, list[ChunkStats]]:
         """Execute pre-partitioned chunks and reassemble request order.
 
-        Results are placed by original request index, so worker scheduling
-        affects only *where* cache warm-up happens, never the results.  If
-        any chunk raises, the pending chunks are cancelled and the first
-        failure propagates — the pool itself stays usable (worker processes
-        survive ordinary exceptions), so a poisoned batch does not cost a
-        persistent service its pool.
+        ``lanes``, when given, pins chunk ``i`` to worker lane ``lanes[i]``
+        (the worker-affine dispatch of :func:`affine_partition`).  Without
+        lanes, dispatch is *work-conserving*: two chunks are primed per
+        lane (so a worker never stalls on the parent's dispatch round-trip)
+        and every further chunk goes to whichever lane finishes first —
+        approximating a shared-queue pool, up to the one already-queued
+        chunk per lane that cannot be stolen once primed.  Results are placed by
+        original request index, so worker scheduling affects only *where*
+        cache warm-up happens, never the results.  If any chunk raises, the
+        pending chunks are cancelled and the first failure propagates — the
+        pool itself stays usable (worker processes survive ordinary
+        exceptions), so a poisoned batch does not cost a persistent service
+        its pool.
         """
-        futures = [
-            self.submit_chunk(index, [requests[i] for i in chunk])
-            for index, chunk in enumerate(chunks)
-        ]
         results: list = [None] * len(requests)
         chunk_stats: list[ChunkStats] = []
-        try:
-            for future in futures:
-                index, chunk_results, stats = future.result()
-                for position, result in zip(chunks[index], chunk_results):
-                    results[position] = result
-                chunk_stats.append(stats)
-        except BaseException:
-            for future in futures:
-                future.cancel()
-            raise
+
+        def _collect(future) -> None:
+            index, chunk_results, stats = future.result()
+            for position, result in zip(chunks[index], chunk_results):
+                results[position] = result
+            chunk_stats.append(stats)
+
+        if lanes is not None:
+            futures = [
+                self.submit_chunk(index, [requests[i] for i in chunk], lanes[index])
+                for index, chunk in enumerate(chunks)
+            ]
+            try:
+                for future in futures:
+                    _collect(future)
+            except BaseException:
+                for future in futures:
+                    future.cancel()
+                raise
+        else:
+            order = iter(range(len(chunks)))
+            lane_of: dict = {}  # in-flight future -> its lane
+
+            def _feed(lane: Optional[int]) -> None:
+                index = next(order, None)
+                if index is not None:
+                    future = self.submit_chunk(
+                        index, [requests[i] for i in chunks[index]], lane
+                    )
+                    lane_of[future] = lane
+
+            try:
+                # depth-2 pipeline per lane: one chunk running, one queued,
+                # so a worker never stalls on the parent's dispatch
+                # round-trip between chunks
+                for _ in range(2):
+                    for lane in range(self.workers):
+                        _feed(lane)
+                while lane_of:
+                    done, _ = wait(lane_of, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        freed = lane_of.pop(future)
+                        _collect(future)
+                        _feed(freed)
+            except BaseException:
+                for future in lane_of:
+                    future.cancel()
+                raise
         chunk_stats.sort(key=lambda stats: stats.chunk)
         return results, chunk_stats
 
-    def probe(self) -> dict:
-        """Run the worker probe on one worker and return its report."""
-        return self._executor.submit(_worker_probe).result()
+    def probe(self, lane: int = 0) -> dict:
+        """Run the worker probe on one worker lane and return its report."""
+        return self._lanes[lane % self.workers].submit(_worker_probe).result()
 
     def close(self, wait: bool = True, cancel_pending: bool = False) -> None:
         """Shut the pool down (idempotent).
@@ -560,7 +898,8 @@ class WorkerPool:
         if self._closed:
             return
         self._closed = True
-        self._executor.shutdown(wait=wait, cancel_futures=cancel_pending)
+        for lane in self._lanes:
+            lane.shutdown(wait=wait, cancel_futures=cancel_pending)
 
     def __enter__(self) -> "WorkerPool":
         """Context-manager entry: the pool itself."""
@@ -587,8 +926,21 @@ def run_process_batch(
     workers' warmed caches) alive across batches.
     """
     workers = config.effective_workers
-    chunks = partition_requests(requests, workers, config.chunk_size, config.chunking)
+    chunk_size = config.chunk_size
+    if chunk_size == ADAPTIVE:
+        # one-report history: the engine's previous batch, when there was one
+        previous = engine.last_batch_report
+        per_request = None
+        if previous is not None and previous.num_requests:
+            per_request = (
+                sum(stats.seconds for stats in previous.chunks)
+                / previous.num_requests
+            )
+        chunk_size = adaptive_chunk_size(len(requests), workers, per_request)
+    chunks = partition_requests(requests, workers, chunk_size, config.chunking)
     start = time.perf_counter()
+    # the report records the *resolved* chunk size (int or None), matching
+    # what the service path records for the same sentinel
     with WorkerPool(
         engine, max(1, min(workers, len(chunks))), config.start_method
     ) as pool:
@@ -597,7 +949,7 @@ def run_process_batch(
         mode="process",
         workers=workers,
         chunking=config.chunking,
-        chunk_size=config.chunk_size,
+        chunk_size=chunk_size,
         num_requests=len(requests),
         elapsed_seconds=time.perf_counter() - start,
         chunks=tuple(chunk_stats),

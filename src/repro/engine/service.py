@@ -19,7 +19,17 @@ rebuild.  A :class:`QueryService` hoists that cost out of the batch loop:
   enqueues a batch and immediately returns a :class:`ServiceBatch` handle,
   a single dispatcher thread drains the queue in FIFO order (chunks of one
   batch still run in parallel across the pool), and the blocking
-  :meth:`QueryService.evaluate_many` routes through the same queue.
+  :meth:`QueryService.evaluate_many` routes through the same queue;
+* the **bounds cache is shared across workers** (PR 5): the service owns a
+  :class:`~repro.engine.boundstore.SharedBoundStore`, every worker attaches
+  it through the pool initializer, and a column computed by one worker is
+  served to all — see ``engine/boundstore.py`` for the publish protocol and
+  the fallback rules;
+* **dispatch is worker-affine** (PR 5): with ``"affinity"`` chunking each
+  affinity bucket's lane is a stable hash of its key, so successive batches
+  route a recurring query object to the same worker's warm caches, and
+  ``chunk_size="adaptive"`` sizes chunks from the observed per-request cost
+  of earlier batches (:class:`~repro.engine.executor.BatchReport` history).
 
 Determinism is inherited unchanged from the executor layer: results are
 bit-identical to the serial path for every worker count, chunking and batch
@@ -45,7 +55,18 @@ from typing import TYPE_CHECKING, Optional, Sequence, Union
 
 from ..uncertain import UncertainDatabase
 from ..uncertain.sharedmem import SharedDatabaseExport, shared_memory_available
-from .executor import BatchReport, ExecutorConfig, WorkerPool, partition_requests
+from .boundstore import SharedBoundStore, bound_store_available
+from .executor import (
+    ADAPTIVE,
+    BatchReport,
+    ExecutorConfig,
+    WorkerPool,
+    _pool_context,
+    adaptive_chunk_size,
+    affine_partition,
+    partition_requests,
+    validate_chunk_size,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from .engine import QueryEngine
@@ -103,8 +124,14 @@ class _Job:
     chunks: list[list[int]]
     chunking: str
     chunk_size: Optional[int]
+    lanes: Optional[list[int]] = None
     future: Future = field(default_factory=Future)
     enqueued_at: float = 0.0
+
+
+#: Exponential-moving-average weight of the newest batch's per-request cost
+#: (0.5 adapts within a couple of batches while smoothing one-off spikes).
+_COST_EWMA_ALPHA = 0.5
 
 
 class QueryService:
@@ -172,14 +199,48 @@ class QueryService:
         elif share_memory:
             self._export = engine.database.share_memory().acquire()
             self._transport = "shared_memory"
+        workers = self.config.effective_workers
+        self._bound_store: Optional[SharedBoundStore] = None
+        use_bounds = self.config.shared_bounds
+        if use_bounds is None:
+            use_bounds = bound_store_available()
+        elif use_bounds and not bound_store_available():
+            if self._export is not None:
+                self._export.release()
+            raise RuntimeError(
+                "shared_bounds=True but the shared bounds store is "
+                "unavailable on this platform (or disabled via environment)"
+            )
+        if use_bounds:
+            try:
+                # exactly one publish segment per worker lane: lanes never
+                # respawn a crashed worker, so spares could never be claimed
+                self._bound_store = SharedBoundStore(
+                    num_segments=min(255, workers),
+                    mp_context=_pool_context(self.config.start_method),
+                )
+            except OSError:  # pragma: no cover - e.g. /dev/shm exhausted
+                # auto-detection degrades silently; an explicit request
+                # must fail loudly rather than run without the store
+                if self.config.shared_bounds:
+                    if self._export is not None:
+                        self._export.release()
+                    raise
+                self._bound_store = None
         try:
             self._pool = WorkerPool(
-                engine, self.config.effective_workers, self.config.start_method
+                engine,
+                workers,
+                self.config.start_method,
+                bound_store=self._bound_store,
             )
         except BaseException:
+            if self._bound_store is not None:
+                self._bound_store.close()
             if self._export is not None:
                 self._export.release()
             raise
+        self._cost_ewma: Optional[float] = None
         #: Merged :class:`~repro.engine.executor.BatchReport` of the most
         #: recently *completed* batch (``None`` before the first one).
         self.last_batch_report: Optional[BatchReport] = None
@@ -212,6 +273,40 @@ class QueryService:
     def transport(self) -> str:
         """Dataset transport to the workers: ``"shared_memory"`` or ``"pickle"``."""
         return self._transport
+
+    @property
+    def shared_bounds(self) -> bool:
+        """Whether a cross-worker shared bounds store backs this pool."""
+        return self._bound_store is not None
+
+    def bound_store_stats(self) -> Optional[dict]:
+        """Global occupancy of the shared bounds store (``None`` without one).
+
+        Filled index slots, claimed worker segments and per-segment used
+        bytes — the parent-side view; per-worker hit/publish counters live
+        in the :class:`~repro.engine.executor.BatchReport` chunk stats.
+        """
+        if self._bound_store is None:
+            return None
+        return self._bound_store.stats()
+
+    @property
+    def observed_request_seconds(self) -> Optional[float]:
+        """EWMA of per-request worker seconds over completed batches.
+
+        The cost signal behind ``chunk_size="adaptive"``; ``None`` until the
+        first batch completes.
+        """
+        return self._cost_ewma
+
+    def adaptive_chunk_size(self, num_requests: int) -> Optional[int]:
+        """Chunk-size cap ``chunk_size="adaptive"`` resolves to right now.
+
+        Derived from :attr:`observed_request_seconds` via
+        :func:`~repro.engine.executor.adaptive_chunk_size`; ``None`` (use
+        the default chunking) while there is no cost history yet.
+        """
+        return adaptive_chunk_size(num_requests, self.workers, self._cost_ewma)
 
     @property
     def worker_pids(self) -> tuple[int, ...]:
@@ -257,14 +352,43 @@ class QueryService:
         The batch is partitioned here (a deterministic function of the batch
         alone) and executed by the dispatcher in FIFO order; chunks run in
         parallel across the persistent pool.  ``chunk_size`` / ``chunking``
-        default to the service's executor config.  Raises ``RuntimeError``
-        once the service is closed.
+        default to the service's executor config; ``chunk_size="adaptive"``
+        resolves against the observed per-request cost of earlier batches
+        (:meth:`adaptive_chunk_size`) under ``"contiguous"`` chunking, and
+        is a no-op under ``"affinity"`` — splitting a lane-pinned bucket
+        cannot move work to another lane, it only adds dispatch overhead.
+        With ``"affinity"`` chunking the
+        chunks are additionally *pinned*: each affinity bucket's lane is a
+        stable hash of its key (:func:`~repro.engine.executor.affine_partition`),
+        so a recurring query object lands on the worker whose caches served
+        it last batch.  Raises ``RuntimeError`` once the service is closed.
         """
         requests = list(requests)
         size = self.config.chunk_size if chunk_size is _UNSET else chunk_size
+        if chunk_size is not _UNSET:
+            validate_chunk_size(size)
         strategy = chunking if chunking is not None else self.config.chunking
-        chunks = partition_requests(requests, self._pool.workers, size, strategy)
-        job = _Job(requests=requests, chunks=chunks, chunking=strategy, chunk_size=size)
+        if size == ADAPTIVE:
+            # splitting a lane-pinned bucket cannot rebalance work (the
+            # extra chunks run sequentially on the same lane), so the
+            # adaptive cap only applies to work-conserving dispatch
+            size = (
+                None
+                if strategy == "affinity"
+                else self.adaptive_chunk_size(len(requests))
+            )
+        lanes: Optional[list[int]] = None
+        if strategy == "affinity":
+            chunks, lanes = affine_partition(requests, self._pool.workers, size)
+        else:
+            chunks = partition_requests(requests, self._pool.workers, size, strategy)
+        job = _Job(
+            requests=requests,
+            chunks=chunks,
+            chunking=strategy,
+            chunk_size=size,
+            lanes=lanes,
+        )
         with self._submit_lock:
             if self._closed:
                 raise RuntimeError("cannot submit to a closed QueryService")
@@ -301,10 +425,21 @@ class QueryService:
             if not job.future.set_running_or_notify_cancel():
                 continue  # cancelled before it started
             try:
-                results, chunk_stats = self._pool.run_chunks(job.requests, job.chunks)
+                results, chunk_stats = self._pool.run_chunks(
+                    job.requests, job.chunks, lanes=job.lanes
+                )
             except BaseException as error:
                 job.future.set_exception(error)
                 continue
+            if job.requests:
+                per_request = sum(s.seconds for s in chunk_stats) / len(job.requests)
+                if self._cost_ewma is None:
+                    self._cost_ewma = per_request
+                else:
+                    self._cost_ewma = (
+                        _COST_EWMA_ALPHA * per_request
+                        + (1.0 - _COST_EWMA_ALPHA) * self._cost_ewma
+                    )
             report = BatchReport(
                 mode="process",
                 workers=self._pool.workers,
@@ -342,6 +477,9 @@ class QueryService:
         if wait:
             self._dispatcher.join()
         self._pool.close(wait=wait, cancel_pending=not wait)
+        if self._bound_store is not None:
+            self._bound_store.close()
+            self._bound_store = None
         if self._export is not None:
             self._export.release()
             self._export = None

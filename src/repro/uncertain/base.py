@@ -32,6 +32,7 @@ machinery relies on:
 from __future__ import annotations
 
 import abc
+import threading
 from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
@@ -141,6 +142,8 @@ class UncertainDatabase:
                 raise ValueError("all objects must share the same dimensionality")
         self._mbr_cache: Optional[np.ndarray] = None
         self._shared_export: Optional["SharedDatabaseExport"] = None
+        self._share_lock = threading.Lock()
+        self._position_by_id: Optional[dict[int, int]] = None
 
     # ------------------------------------------------------------------ #
     # process transport
@@ -178,11 +181,12 @@ class UncertainDatabase:
         """
         from .sharedmem import SharedDatabaseExport
 
-        if self._shared_export is not None and self._shared_export.active:
-            return self._shared_export
-        export = SharedDatabaseExport(self)
-        self._shared_export = export
-        return export
+        with self._share_lock:
+            if self._shared_export is not None and self._shared_export.active:
+                return self._shared_export
+            export = SharedDatabaseExport(self)
+            self._shared_export = export
+            return export
 
     # ------------------------------------------------------------------ #
     # container protocol
@@ -200,6 +204,22 @@ class UncertainDatabase:
     def objects(self) -> list[UncertainObject]:
         """The underlying list of objects (do not mutate)."""
         return self._objects
+
+    def position_of(self, obj: UncertainObject) -> Optional[int]:
+        """Database position of ``obj``, or ``None`` for non-members.
+
+        Membership is by identity (the same semantics the engine's caches
+        use); the identity map is built once and stays valid because
+        databases are immutable after construction.  The shared bounds
+        store uses positions as the process-independent part of its keys —
+        positions are identical in every process that received this
+        database, whether it was pickled or mapped through shared memory.
+        """
+        if self._position_by_id is None:
+            self._position_by_id = {
+                id(member): index for index, member in enumerate(self._objects)
+            }
+        return self._position_by_id.get(id(obj))
 
     @property
     def dimensions(self) -> int:

@@ -145,14 +145,33 @@ def test_auto_mode_resolution_table(monkeypatch):
 
 
 def test_config_validation():
-    with pytest.raises(ValueError):
+    with pytest.raises(ValueError, match="workers"):
         ExecutorConfig(workers=0)
-    with pytest.raises(ValueError):
+    with pytest.raises(ValueError, match="workers"):
+        ExecutorConfig(workers=-2)
+    with pytest.raises(ValueError, match="workers"):
+        ExecutorConfig(workers=2.5)
+    with pytest.raises(ValueError, match="workers"):
+        ExecutorConfig(workers=True)
+    with pytest.raises(ValueError, match="chunk_size"):
         ExecutorConfig(chunk_size=0)
-    with pytest.raises(ValueError):
+    with pytest.raises(ValueError, match="chunk_size"):
+        ExecutorConfig(chunk_size=-1)
+    with pytest.raises(ValueError, match="chunk_size"):
+        ExecutorConfig(chunk_size=3.5)
+    with pytest.raises(ValueError, match="chunk_size"):
+        ExecutorConfig(chunk_size="dynamic")  # only "adaptive" is recognised
+    with pytest.raises(ValueError, match="unknown execution mode"):
         ExecutorConfig(mode="threads")
-    with pytest.raises(ValueError):
+    with pytest.raises(ValueError, match="unknown chunking strategy"):
         ExecutorConfig(chunking="random")
+    with pytest.raises(ValueError, match="shared_bounds"):
+        ExecutorConfig(shared_bounds="yes")
+    # the accepted surface
+    ExecutorConfig(workers=1, chunk_size=1)
+    ExecutorConfig(chunk_size="adaptive")
+    ExecutorConfig(shared_bounds=True)
+    ExecutorConfig(shared_bounds=False)
 
 
 # --------------------------------------------------------------------- #

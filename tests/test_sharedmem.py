@@ -103,6 +103,56 @@ def test_share_memory_is_idempotent_while_active(database):
         second.close()
 
 
+def test_concurrent_consumers_share_one_dev_shm_segment(database):
+    """Two consumers acquiring the export map a single ``/dev/shm`` block.
+
+    The regression guarded against: a second ``share_memory()`` call while
+    an export is active must bump the refcount on the existing export, not
+    export a second copy of the arrays — two services over one database
+    would otherwise double the shared-memory footprint.
+    """
+    first = database.share_memory().acquire()
+    second = database.share_memory().acquire()
+    try:
+        assert second is first
+        name = first.handle.shm_name
+        assert _dev_shm_exists(name)
+        # exactly one dataset block exists for this database
+        siblings = [
+            entry
+            for entry in os.listdir("/dev/shm")
+            if entry.startswith(f"repro_{os.getpid()}_")
+        ]
+        assert siblings == [name]
+    finally:
+        first.release()
+        assert _dev_shm_exists(name)  # one consumer still holds it
+        second.release()
+    assert not _dev_shm_exists(name)  # the last release unlinked
+
+
+def test_share_memory_is_thread_safe(database):
+    """Racing ``share_memory()`` calls must agree on one export."""
+    import threading
+
+    exports = []
+    barrier = threading.Barrier(4)
+
+    def worker():
+        barrier.wait()
+        exports.append(database.share_memory())
+
+    threads = [threading.Thread(target=worker) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    try:
+        assert len({id(export) for export in exports}) == 1
+    finally:
+        exports[0].close()
+
+
 def test_attached_database_answers_queries_identically(database):
     from repro.engine import KNNQuery, QueryEngine
 
