@@ -44,6 +44,7 @@ import time
 
 import numpy as np
 
+from repro.core.kernels import kernel_environment
 from repro.datasets import random_reference_object, uniform_rectangle_database
 from repro.engine import ExecutorConfig, KNNQuery, QueryEngine, QueryService
 
@@ -169,6 +170,7 @@ def run_benchmark() -> dict:
         )
 
     return {
+        "environment": kernel_environment(),
         "workload": {
             "num_objects": NUM_OBJECTS,
             "distinct_queries": NUM_DISTINCT_QUERIES,

@@ -33,6 +33,7 @@ import time
 
 import numpy as np
 
+from repro.core.kernels import kernel_environment
 from repro.datasets import random_reference_object, uniform_rectangle_database
 from repro.engine import KNNQuery, QueryEngine
 from repro.experiments import run_query_batch
@@ -93,6 +94,7 @@ def run_benchmark() -> dict:
         for a, b in zip(independent, batch)
     )
     return {
+        "environment": kernel_environment(),
         "workload": {
             "num_objects": NUM_OBJECTS,
             "stream_length": STREAM_LENGTH,

@@ -41,6 +41,7 @@ import time
 
 import numpy as np
 
+from repro.core.kernels import kernel_environment
 from repro.datasets import random_reference_object, uniform_rectangle_database
 from repro.engine import ExecutorConfig, KNNQuery, QueryEngine
 
@@ -116,6 +117,7 @@ def run_benchmark() -> dict:
         }
 
     return {
+        "environment": kernel_environment(),
         "workload": {
             "num_objects": NUM_OBJECTS,
             "stream_length": STREAM_LENGTH,

@@ -14,8 +14,23 @@ grid, the per-pair ``PDom`` bounds are computed twice:
 Both must produce the same bound matrices (up to ULP-level summation
 re-association, checked with a tight tolerance); the sweep over candidate
 decomposition depths shows how the speedup scales with the partition count.
-Results are written to ``BENCH_kernel.json`` (override with the
-``BENCH_KERNEL_JSON`` environment variable).
+
+A second, **ragged** section benchmarks the layouts the engine actually
+chooses between on a mixed-depth frontier (depths cycling ``1 + i % 5``, so
+per-candidate partition counts span 2..32):
+
+* **padded** — pad every candidate to the widest count and call
+  :func:`repro.core.pdom_bounds_batch` (the legacy layout, with its
+  per-iteration pad copies),
+* **csr-numpy** / **csr-numba** — the CSR layout consumed by
+  :func:`repro.core.pdom_bounds_csr`, timed both cold (concatenation
+  included) and with the per-depth-set batch cache warm (the steady-state
+  hot path).  The numba row only appears when numba is importable.
+
+Results, together with the host environment metadata
+(:func:`repro.core.kernel_environment`), are written to
+``BENCH_kernel.json`` (override with the ``BENCH_KERNEL_JSON`` environment
+variable).
 
 Run standalone::
 
@@ -34,15 +49,19 @@ import time
 
 import numpy as np
 
-from repro.core import pdom_bounds_batch, pdom_bounds_from_partitions
+from repro.core import pdom_bounds_batch, pdom_bounds_csr, pdom_bounds_from_partitions
+from repro.core.kernels import kernel_environment, numba_available
 from repro.datasets import random_reference_object, uniform_rectangle_database
-from repro.uncertain import DecompositionTree
+from repro.uncertain import DecompositionTree, clear_csr_cache, csr_partitions_batch
 
 NUM_CANDIDATES = 40
 GRID_DEPTH = 2  # 4 target x 4 reference partitions = 16 pairs
 CANDIDATE_DEPTHS = (2, 3, 4, 5, 6)
 SEED = 13
 REPEATS = 3
+RAGGED_DEPTH_CYCLE = 5  # mixed-depth frontier: depths 1 + (i % 5)
+RAGGED_REPEATS = 5
+CSR_TARGET_SPEEDUP = 1.2  # csr-numpy (cache warm) vs padded, asserted in CI
 
 
 def _workload():
@@ -88,6 +107,135 @@ def _batched_matrices(trees, depth, parts, target_regions, reference_regions):
         reference_regions,
         partition_counts=counts,
     )
+
+
+def _padded_ragged(trees, depths, target_regions, reference_regions):
+    """The legacy layout on a mixed-depth frontier: pad copies + dense kernel."""
+    counts = np.array(
+        [tree.partitions_arrays(depth)[1].shape[0] for tree, depth in zip(trees, depths)],
+        dtype=int,
+    )
+    pad_to = int(counts.max())
+    stacked_regions = np.stack(
+        [
+            tree.partitions_arrays(depth, pad_to=pad_to)[0]
+            for tree, depth in zip(trees, depths)
+        ]
+    )
+    stacked_masses = np.stack(
+        [
+            tree.partitions_arrays(depth, pad_to=pad_to)[1]
+            for tree, depth in zip(trees, depths)
+        ]
+    )
+    return pdom_bounds_batch(
+        stacked_regions,
+        stacked_masses,
+        target_regions,
+        reference_regions,
+        partition_counts=counts,
+    )
+
+
+def _csr_ragged(trees, depths, target_regions, reference_regions, backend):
+    """CSR layout: one cached concatenation + the selected kernel backend."""
+    batch = csr_partitions_batch(trees, depths)
+    return pdom_bounds_csr(
+        batch.regions,
+        batch.masses,
+        batch.offsets,
+        target_regions,
+        reference_regions,
+        backend=backend,
+    )
+
+
+def _ragged_section(trees, target_regions, reference_regions) -> dict:
+    """Padded vs CSR (per backend, cold and cache-warm) on mixed depths."""
+    depths = [1 + (i % RAGGED_DEPTH_CYCLE) for i in range(len(trees))]
+    counts = [
+        tree.partitions_arrays(depth)[1].shape[0] for tree, depth in zip(trees, depths)
+    ]
+
+    padded_best = np.inf
+    for _ in range(RAGGED_REPEATS):
+        start = time.perf_counter()
+        padded_lower, padded_upper = _padded_ragged(
+            trees, depths, target_regions, reference_regions
+        )
+        padded_best = min(padded_best, time.perf_counter() - start)
+
+    backends = ["numpy"] + (["numba"] if numba_available() else [])
+    rows = [
+        {
+            "layout": "padded",
+            "backend": "numpy",
+            "csr_cache": None,
+            "seconds": padded_best,
+            "speedup_vs_padded": 1.0,
+        }
+    ]
+    for backend in backends:
+        # warm-up: with numba this also absorbs the one-off JIT compilation
+        _csr_ragged(trees, depths, target_regions, reference_regions, backend)
+
+        cold_best = np.inf
+        for _ in range(RAGGED_REPEATS):
+            clear_csr_cache()
+            start = time.perf_counter()
+            cold_lower, cold_upper = _csr_ragged(
+                trees, depths, target_regions, reference_regions, backend
+            )
+            cold_best = min(cold_best, time.perf_counter() - start)
+
+        warm_best = np.inf
+        _csr_ragged(trees, depths, target_regions, reference_regions, backend)
+        for _ in range(RAGGED_REPEATS):
+            start = time.perf_counter()
+            warm_lower, warm_upper = _csr_ragged(
+                trees, depths, target_regions, reference_regions, backend
+            )
+            warm_best = min(warm_best, time.perf_counter() - start)
+
+        max_abs_diff = float(
+            max(
+                np.abs(warm_lower - padded_lower).max(),
+                np.abs(warm_upper - padded_upper).max(),
+                np.abs(cold_lower - padded_lower).max(),
+                np.abs(cold_upper - padded_upper).max(),
+            )
+        )
+        if max_abs_diff > 1e-12:
+            raise AssertionError(
+                f"csr-{backend} diverged from the padded kernel: "
+                f"max |diff| = {max_abs_diff:.3e}"
+            )
+        for cache, seconds in (("cold", cold_best), ("warm", warm_best)):
+            rows.append(
+                {
+                    "layout": "csr",
+                    "backend": backend,
+                    "csr_cache": cache,
+                    "seconds": seconds,
+                    "speedup_vs_padded": padded_best / max(seconds, 1e-12),
+                    "max_abs_diff_vs_padded": max_abs_diff,
+                }
+            )
+    return {
+        "workload": {
+            "num_candidates": len(trees),
+            "depth_cycle": RAGGED_DEPTH_CYCLE,
+            "partition_counts": {
+                "min": int(min(counts)),
+                "max": int(max(counts)),
+                "total": int(sum(counts)),
+            },
+            "num_pairs": int(target_regions.shape[0] * reference_regions.shape[0]),
+            "repeats": RAGGED_REPEATS,
+            "target_speedup": CSR_TARGET_SPEEDUP,
+        },
+        "rows": rows,
+    }
 
 
 def run_benchmark() -> dict:
@@ -147,6 +295,8 @@ def run_benchmark() -> dict:
             "repeats": REPEATS,
         },
         "rows": rows,
+        "ragged": _ragged_section(trees, target_regions, reference_regions),
+        "environment": kernel_environment(),
     }
 
 
@@ -168,10 +318,28 @@ def test_batched_kernel_beats_scalar_loop():
             f"batch {row['batch_seconds'] * 1e3:.1f} ms  "
             f"speedup {row['speedup']:.1f}x"
         )
+    for row in report["ragged"]["rows"]:
+        cache = f" ({row['csr_cache']})" if row["csr_cache"] else ""
+        print(
+            f"ragged {row['layout']}-{row['backend']}{cache}: "
+            f"{row['seconds'] * 1e3:.2f} ms  "
+            f"{row['speedup_vs_padded']:.2f}x vs padded"
+        )
     print(f"-> {path}")
-    # correctness is asserted inside run_benchmark; here only the speed claim
+    # correctness is asserted inside run_benchmark; here only the speed claims
     for row in report["rows"]:
         assert row["batch_seconds"] < row["scalar_seconds"]
+    warm_numpy = next(
+        row
+        for row in report["ragged"]["rows"]
+        if row["layout"] == "csr"
+        and row["backend"] == "numpy"
+        and row["csr_cache"] == "warm"
+    )
+    assert warm_numpy["speedup_vs_padded"] >= CSR_TARGET_SPEEDUP, (
+        f"csr-numpy (cache warm) only {warm_numpy['speedup_vs_padded']:.2f}x "
+        f"over padded, target {CSR_TARGET_SPEEDUP}x"
+    )
 
 
 if __name__ == "__main__":

@@ -42,6 +42,7 @@ import time
 
 import numpy as np
 
+from repro.core.kernels import kernel_environment
 from repro.datasets import random_reference_object, uniform_rectangle_database
 from repro.engine import ExecutorConfig, KNNQuery, QueryEngine, QueryService
 
@@ -134,6 +135,7 @@ def run_benchmark() -> dict:
     per_batch_mean = sum(per_batch_latencies) / len(per_batch_latencies)
     service_mean = sum(service_latencies) / len(service_latencies)
     return {
+        "environment": kernel_environment(),
         "workload": {
             "num_objects": NUM_OBJECTS,
             "num_batches": NUM_BATCHES,

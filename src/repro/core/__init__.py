@@ -23,6 +23,16 @@ from .generating_functions import (
     ugf_pmf_bounds_batch,
 )
 from .idca import IDCA, IDCAResult, IDCARun, IterationStats
+from .kernels import (
+    available_backends,
+    default_backend,
+    kernel_environment,
+    kernel_stats,
+    numba_available,
+    pdom_bounds_csr,
+    resolve_backend,
+    total_kernel_seconds,
+)
 from .stop_criteria import (
     AnyOf,
     MaxIterations,
@@ -53,6 +63,14 @@ __all__ = [
     "IDCAResult",
     "IDCARun",
     "IterationStats",
+    "available_backends",
+    "default_backend",
+    "kernel_environment",
+    "kernel_stats",
+    "numba_available",
+    "pdom_bounds_csr",
+    "resolve_backend",
+    "total_kernel_seconds",
     "AnyOf",
     "MaxIterations",
     "NeverStop",

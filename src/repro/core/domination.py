@@ -26,6 +26,7 @@ import numpy as np
 
 from ..geometry import DominationCriterion, Rectangle, domination_bulk
 from ..uncertain import DecompositionTree, UncertainDatabase, UncertainObject
+from .kernels import validate_partition_grids
 
 __all__ = [
     "CompleteDominationResult",
@@ -202,6 +203,12 @@ def pdom_bounds_batch(
     :func:`~repro.geometry.domination_bulk` dispatch instead of one tiny call
     per triple, which is what the IDCA hot path spends its time on otherwise.
 
+    This padded-dense layout is the **legacy** batched kernel: the hot path
+    now batches candidates in the ragged CSR layout consumed by
+    :func:`repro.core.kernels.pdom_bounds_csr`, which carries no pad rows and
+    supports pluggable backends.  This function is retained as a reference
+    implementation and compatibility surface for external callers.
+
     Parameters
     ----------
     candidate_regions, candidate_masses:
@@ -233,12 +240,17 @@ def pdom_bounds_batch(
     """
     candidate_regions = np.asarray(candidate_regions, dtype=float)
     candidate_masses = np.asarray(candidate_masses, dtype=float)
-    target_regions = np.asarray(target_regions, dtype=float)
-    reference_regions = np.asarray(reference_regions, dtype=float)
     if candidate_regions.ndim != 4 or candidate_masses.ndim != 2:
         raise ValueError("candidate tensors must have shapes (c, m, d, 2) and (c, m)")
     if candidate_regions.shape[:2] != candidate_masses.shape:
         raise ValueError("candidate_regions and candidate_masses disagree on (c, m)")
+    # a transposed (d, n, 2) grid would broadcast into silently wrong bounds,
+    # so the grids are validated up front like the candidate tensors
+    target_regions, reference_regions = validate_partition_grids(
+        target_regions,
+        reference_regions,
+        candidate_regions.shape[2] if candidate_regions.shape[0] else None,
+    )
     num_candidates, max_partitions = candidate_masses.shape
     num_target = target_regions.shape[0]
     num_reference = reference_regions.shape[0]

@@ -9,8 +9,9 @@ object ``B`` and a reference object ``R``, it
 2. iteratively decomposes ``B``, ``R`` and the influence objects one kd-tree
    level at a time;
 3. in every iteration computes the per-influence-object domination bounds of
-   *all* pairs of partitions ``(B', R')`` with one batched kernel call
-   (:func:`~repro.core.domination.pdom_bounds_batch`), expands the uncertain
+   *all* pairs of partitions ``(B', R')`` with one batched kernel call on the
+   ragged CSR candidate layout
+   (:func:`~repro.core.kernels.pdom_bounds_csr`), expands the uncertain
    generating functions of all pairs in one vectorised pass, and combines the
    per-pair domination-count bounds weighted by ``P(B') * P(R')``
    (Section IV-E);
@@ -32,8 +33,9 @@ import numpy as np
 
 from ..geometry import DominationCriterion
 from ..uncertain import DecompositionTree, UncertainDatabase, UncertainObject
-from ..uncertain.decomposition import AxisPolicy
-from .domination import complete_domination_filter, pdom_bounds_batch
+from ..uncertain.decomposition import AxisPolicy, csr_partitions_batch
+from .domination import complete_domination_filter
+from .kernels import pdom_bounds_csr, resolve_backend
 from .domination_count import (
     DominationCountBounds,
     combine_weighted_bounds_arrays,
@@ -61,6 +63,12 @@ class IterationStats:
     cross-worker shared bounds store (``repro/engine/boundstore.py``) during
     this iteration: columns served from / missed in / published to the store.
     They stay zero when no store is attached — e.g. on the serial path.
+
+    ``kernel_backend`` names the pair-bounds kernel backend the iteration
+    resolved to (``"numpy"`` or ``"numba"``); ``kernel_seconds`` is the
+    wall-clock spent inside the CSR kernel itself, zero when every candidate
+    column was served from the memo.  Backends are bit-identical, so these
+    fields only attribute time — they never explain a result difference.
     """
 
     iteration: int
@@ -72,6 +80,8 @@ class IterationStats:
     shared_hits: int = 0
     shared_misses: int = 0
     shared_publishes: int = 0
+    kernel_backend: str = ""
+    kernel_seconds: float = 0.0
 
 
 @dataclass
@@ -171,7 +181,15 @@ class IDCA:
         every (target partition, reference partition) pair, so a hit skips an
         entire kernel column instead of a single scalar.  Entries are
         deterministic functions of their key, so sharing never changes
-        results.
+        results.  The key deliberately excludes the kernel backend: backends
+        are bit-identical by construction, so columns computed under one
+        backend are valid under every other.
+    kernel_backend:
+        Pair-bounds kernel backend: ``"numpy"``, ``"numba"`` or ``None`` to
+        resolve through the fallback ladder (``REPRO_KERNEL_BACKEND``
+        environment variable, then the best available backend).  The
+        *request* is stored and re-resolved at every use, so a pickled IDCA
+        resolves against whatever is importable in the receiving worker.
     """
 
     def __init__(
@@ -188,6 +206,7 @@ class IDCA:
         adaptive_width_threshold: float = 0.01,
         tree_cache: Optional[dict] = None,
         pair_bounds_cache: Optional[dict] = None,
+        kernel_backend: Optional[str] = None,
     ):
         if max_target_depth < 0 or max_reference_depth < 0:
             raise ValueError("decomposition depth caps must be non-negative")
@@ -195,6 +214,10 @@ class IDCA:
             raise ValueError("max_candidate_depth must be at least 1")
         if adaptive_width_threshold < 0:
             raise ValueError("adaptive_width_threshold must be non-negative")
+        # validate the name eagerly but store the request: resolution happens
+        # per use, so pickled instances re-resolve in the receiving worker
+        resolve_backend(kernel_backend)
+        self.kernel_backend = kernel_backend
         self.database = database
         self.p = p
         self.criterion = criterion
@@ -516,29 +539,29 @@ class IDCARun:
         else:
             missing = list(range(num_candidates))
 
+        kernel_backend = resolve_backend(idca.kernel_backend)
+        kernel_seconds = 0.0
         if missing:
-            # one batched kernel call covers every uncached candidate column
-            counts = np.array(
-                [candidate_parts[c_idx][1].shape[0] for c_idx in missing], dtype=int
+            # one batched kernel call covers every uncached candidate column;
+            # the ragged CSR batch concatenates the cached base arrays with
+            # no pad rows and is itself cached per depth-set, so an unchanged
+            # frontier reuses the previous iteration's concatenation outright
+            batch = csr_partitions_batch(
+                [self._influence_trees[c_idx] for c_idx in missing],
+                [int(candidate_depths[c_idx]) for c_idx in missing],
             )
-            pad_to = int(counts.max())
-            padded = [
-                self._influence_trees[c_idx].partitions_arrays(
-                    int(candidate_depths[c_idx]), pad_to=pad_to
-                )
-                for c_idx in missing
-            ]
-            stacked_regions = np.stack([regions for regions, _ in padded])
-            stacked_masses = np.stack([masses for _, masses in padded])
-            fresh_lower, fresh_upper = pdom_bounds_batch(
-                stacked_regions,
-                stacked_masses,
+            kernel_start = time.perf_counter()
+            fresh_lower, fresh_upper = pdom_bounds_csr(
+                batch.regions,
+                batch.masses,
+                batch.offsets,
                 target_regions,
                 reference_regions,
                 p=idca.p,
                 criterion=idca.criterion,
-                partition_counts=counts,
+                backend=kernel_backend,
             )
+            kernel_seconds = time.perf_counter() - kernel_start
             lower_matrix[:, missing] = fresh_lower
             upper_matrix[:, missing] = fresh_upper
             if cache is not None:
@@ -587,6 +610,8 @@ class IDCARun:
                 shared_misses=getattr(cache, "shared_misses", 0) - shared_before[1],
                 shared_publishes=getattr(cache, "shared_publishes", 0)
                 - shared_before[2],
+                kernel_backend=kernel_backend,
+                kernel_seconds=kernel_seconds,
             )
         )
         self._iteration = iteration

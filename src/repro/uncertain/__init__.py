@@ -5,9 +5,12 @@ from .continuous import BoxUniformObject, MixtureObject, TruncatedGaussianObject
 from .discrete import DiscreteObject, PointObject
 from .histogram import HistogramObject
 from .decomposition import (
+    CSRPartitionBatch,
     DecompositionNode,
     DecompositionTree,
     Partition,
+    clear_csr_cache,
+    csr_partitions_batch,
     decompose_object,
 )
 from .sampling import (
@@ -38,9 +41,12 @@ __all__ = [
     "DiscreteObject",
     "PointObject",
     "HistogramObject",
+    "CSRPartitionBatch",
     "DecompositionNode",
     "DecompositionTree",
     "Partition",
+    "clear_csr_cache",
+    "csr_partitions_batch",
     "decompose_object",
     "discretise_database",
     "discretise_object",

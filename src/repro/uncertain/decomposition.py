@@ -23,7 +23,15 @@ import numpy as np
 from ..geometry import Rectangle
 from .base import UncertainObject
 
-__all__ = ["Partition", "DecompositionNode", "DecompositionTree", "decompose_object"]
+__all__ = [
+    "Partition",
+    "DecompositionNode",
+    "DecompositionTree",
+    "CSRPartitionBatch",
+    "csr_partitions_batch",
+    "clear_csr_cache",
+    "decompose_object",
+]
 
 AxisPolicy = Literal["round_robin", "widest"]
 
@@ -202,13 +210,17 @@ class DecompositionTree:
         With ``pad_to`` the arrays are padded to ``pad_to`` rows so several
         trees at different adaptive depths can be stacked into the dense
         ``(num_candidates, max_partitions, d, 2)`` tensor consumed by the
-        batched pair-bounds kernel.  Padding rows carry **zero probability
-        mass** and a degenerate point rectangle at the origin; any domination
-        verdict computed for them is weighted by zero mass and therefore can
-        never influence a bound.  Padded variants are built fresh from the
-        cached base arrays — the pad is a cheap ``O(k * d)`` copy and the pad
-        width varies with whichever candidates are batched together, so
-        caching every width would accumulate without bound.
+        legacy padded pair-bounds kernel.  Padding rows carry **zero
+        probability mass** and a degenerate point rectangle at the origin;
+        any domination verdict computed for them is weighted by zero mass and
+        therefore can never influence a bound.  Padded variants are built
+        fresh from the cached base arrays on every call.
+
+        .. deprecated::
+            ``pad_to`` is retained only as a compatibility shim for external
+            callers of the padded-dense layout.  The hot path batches
+            candidates with :func:`csr_partitions_batch`, whose ragged CSR
+            layout carries no pad rows at all and is cached per depth-set.
         """
         if depth < 0:
             raise ValueError("depth must be non-negative")
@@ -243,6 +255,117 @@ class DecompositionTree:
     def num_partitions(self, depth: int) -> int:
         """Number of non-empty partitions at ``depth``."""
         return len(self.partitions(depth))
+
+
+# ---------------------------------------------------------------------- #
+# ragged CSR candidate batches
+# ---------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class CSRPartitionBatch:
+    """Ragged CSR view of several trees' partition sets, batched together.
+
+    ``regions`` is the row-wise concatenation of every candidate's cached
+    ``(k_i, d, 2)`` partition rectangles, ``masses`` the matching probability
+    masses, and ``offsets`` the ``(num_candidates + 1,)`` monotone row
+    offsets: candidate ``i`` owns rows ``offsets[i]:offsets[i + 1]`` and
+    nothing else.  Unlike the padded-dense ``(c, m, d, 2)`` tensor this
+    layout carries **no pad rows** — candidates at mixed adaptive depths
+    batch together at exactly their own partition counts.
+
+    The arrays are marked read-only: batches are cached per depth-set and
+    shared between IDCA iterations, refinement contexts and tests.
+    """
+
+    regions: np.ndarray
+    masses: np.ndarray
+    offsets: np.ndarray
+
+    @property
+    def num_candidates(self) -> int:
+        """Number of candidates batched together."""
+        return self.offsets.shape[0] - 1
+
+    @property
+    def total_partitions(self) -> int:
+        """Total partition rows across all candidates (no pad rows)."""
+        return self.masses.shape[0]
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Per-candidate partition counts, ``(num_candidates,)``."""
+        return self.offsets[1:] - self.offsets[:-1]
+
+
+# CSR batches keyed by the exact (tree token, effective depth) sequence: when
+# an IDCA iteration leaves the frontier set unchanged, the next iteration's
+# batch is the same key and the concatenation is reused without copying.
+# Tree tokens are process-unique and never reused, so stale entries can only
+# waste space, never alias a different tree; the FIFO eviction below bounds
+# the waste.
+_CSR_BATCH_CACHE: dict[tuple, CSRPartitionBatch] = {}
+_CSR_BATCH_CACHE_MAX = 4096
+
+
+def _evict_csr_tenth() -> None:
+    """Drop the oldest tenth of the CSR batch cache (insertion order)."""
+    drop = max(1, len(_CSR_BATCH_CACHE) // 10)
+    for key in list(itertools.islice(_CSR_BATCH_CACHE, drop)):
+        del _CSR_BATCH_CACHE[key]
+
+
+def clear_csr_cache() -> None:
+    """Empty the module-level CSR batch cache (tests and memory pressure)."""
+    _CSR_BATCH_CACHE.clear()
+
+
+def csr_partitions_batch(
+    trees: list["DecompositionTree"], depths: list[int]
+) -> CSRPartitionBatch:
+    """Batch several trees' partition sets into one ragged CSR layout.
+
+    ``depths[i]`` is the requested decomposition depth for ``trees[i]``
+    (clamped by each tree's ``max_depth``, exactly like
+    :meth:`DecompositionTree.partitions_arrays`).  The concatenation is built
+    from the per-depth cached base arrays — no pad copies — and is itself
+    cached per depth-set, so an iteration whose frontier set is unchanged
+    reuses the previous iteration's batch outright.
+
+    Returns a :class:`CSRPartitionBatch` whose arrays are read-only; an empty
+    ``trees`` list yields a zero-candidate batch with ``offsets == [0]``.
+    """
+    if len(trees) != len(depths):
+        raise ValueError("trees and depths must have the same length")
+    key = tuple(
+        (
+            tree.token,
+            int(depth) if tree.max_depth is None else min(int(depth), tree.max_depth),
+        )
+        for tree, depth in zip(trees, depths)
+    )
+    cached = _CSR_BATCH_CACHE.get(key)
+    if cached is not None:
+        return cached
+
+    parts = [tree.partitions_arrays(int(depth)) for tree, depth in zip(trees, depths)]
+    offsets = np.zeros(len(trees) + 1, dtype=np.int64)
+    for i, (_, masses) in enumerate(parts):
+        offsets[i + 1] = offsets[i] + masses.shape[0]
+    if parts:
+        d = parts[0][0].shape[1]
+        regions = np.concatenate([regions for regions, _ in parts], axis=0)
+        masses = np.concatenate([masses for _, masses in parts], axis=0)
+        regions = regions.reshape(int(offsets[-1]), d, 2)
+    else:
+        regions = np.empty((0, 0, 2), dtype=float)
+        masses = np.empty(0, dtype=float)
+    regions.setflags(write=False)
+    masses.setflags(write=False)
+    offsets.setflags(write=False)
+    batch = CSRPartitionBatch(regions=regions, masses=masses, offsets=offsets)
+    if len(_CSR_BATCH_CACHE) >= _CSR_BATCH_CACHE_MAX:
+        _evict_csr_tenth()
+    _CSR_BATCH_CACHE[key] = batch
+    return batch
 
 
 def decompose_object(

@@ -1,0 +1,310 @@
+"""Kernel backend ladder, CSR batch cache, and engine-level backend parity.
+
+Complements ``tests/test_pdom_batch.py`` (numerical parity of the kernel
+implementations) with the plumbing around them: backend resolution and
+fallback (explicit argument > ``REPRO_KERNEL_BACKEND`` > availability),
+``csr_partitions_batch`` construction and its per-depth-set cache, the
+kernel timing counters surfaced in ``IterationStats`` / ``BatchReport``,
+and bit-identical engine results across backends × worker counts × shared
+bounds store on/off.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import IDCA, MaxIterations
+from repro.core import kernels as kernels_module
+from repro.core.kernels import (
+    KERNEL_BACKENDS,
+    available_backends,
+    default_backend,
+    kernel_environment,
+    kernel_stats,
+    numba_available,
+    pdom_bounds_csr,
+    resolve_backend,
+    total_kernel_seconds,
+)
+from repro.datasets import random_reference_object, uniform_rectangle_database
+from repro.engine import (
+    ExecutorConfig,
+    InverseRankingQuery,
+    KNNQuery,
+    QueryEngine,
+    RankingQuery,
+)
+from repro.engine.boundstore import bound_store_available
+from repro.engine.service import QueryService
+from repro.uncertain import (
+    DecompositionTree,
+    clear_csr_cache,
+    csr_partitions_batch,
+)
+
+
+@pytest.fixture(scope="module")
+def database():
+    return uniform_rectangle_database(num_objects=20, max_extent=0.05, seed=41)
+
+
+@pytest.fixture(scope="module")
+def reference():
+    return random_reference_object(extent=0.05, seed=42, label="query")
+
+
+@pytest.fixture(scope="module")
+def requests(reference):
+    return [
+        KNNQuery(reference, k=3, tau=0.5, max_iterations=3),
+        KNNQuery(7, k=2, tau=0.3, max_iterations=3),
+        RankingQuery(reference, max_iterations=2, candidate_indices=range(8)),
+        InverseRankingQuery(5, reference, max_iterations=3),
+    ]
+
+
+def _snapshot(results) -> list:
+    snap = []
+    for result in results:
+        if hasattr(result, "matches"):
+            snap.append(
+                [
+                    (m.index, m.probability_lower, m.probability_upper,
+                     m.decision, m.iterations, m.sequence)
+                    for bucket in (result.matches, result.undecided, result.rejected)
+                    for m in bucket
+                ]
+            )
+        elif hasattr(result, "ranking"):
+            snap.append(
+                [
+                    (e.index, e.expected_rank_lower, e.expected_rank_upper, e.iterations)
+                    for e in result.ranking
+                ]
+            )
+        else:
+            snap.append((list(map(float, result.lower)), list(map(float, result.upper))))
+    return snap
+
+
+# --------------------------------------------------------------------- #
+# backend resolution ladder
+# --------------------------------------------------------------------- #
+class TestBackendResolution:
+    def test_explicit_numpy_always_resolves(self):
+        assert resolve_backend("numpy") == "numpy"
+
+    def test_numba_request_degrades_gracefully(self):
+        resolved = resolve_backend("numba")
+        if numba_available():
+            assert resolved == "numba"
+        else:
+            assert resolved == "numpy"
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            resolve_backend("mkl")
+
+    def test_default_prefers_numba_when_available(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL_BACKEND", raising=False)
+        expected = "numba" if numba_available() else "numpy"
+        assert default_backend() == expected
+        assert resolve_backend(None) == expected
+
+    def test_env_variable_overrides_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "numpy")
+        assert resolve_backend(None) == "numpy"
+        assert default_backend() == "numpy"
+
+    def test_explicit_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "numpy")
+        if numba_available():
+            assert resolve_backend("numba") == "numba"
+        else:
+            assert resolve_backend("numba") == "numpy"
+
+    def test_unknown_env_value_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "cuda")
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            resolve_backend(None)
+
+    def test_empty_env_value_means_unset(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "")
+        assert resolve_backend(None) in KERNEL_BACKENDS
+
+    def test_available_backends_always_contains_numpy(self):
+        backends = available_backends()
+        assert "numpy" in backends
+        assert ("numba" in backends) == numba_available()
+
+    def test_kernel_environment_metadata(self):
+        env = kernel_environment()
+        assert env["numpy_version"] == np.__version__
+        assert env["cpu_count"] >= 1
+        assert env["default_backend"] in KERNEL_BACKENDS
+        assert set(env["available_backends"]) <= set(KERNEL_BACKENDS)
+        if not numba_available():
+            assert env["numba_version"] is None
+
+    def test_executor_config_validates_backend_name(self):
+        ExecutorConfig(kernel_backend="numpy")
+        ExecutorConfig(kernel_backend="numba")  # name check only: no import
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            ExecutorConfig(kernel_backend="cython")
+
+    def test_idca_and_engine_validate_backend_name(self, database):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            IDCA(database, kernel_backend="bogus")
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            QueryEngine(database, kernel_backend="bogus")
+
+
+# --------------------------------------------------------------------- #
+# CSR batch construction and caching
+# --------------------------------------------------------------------- #
+class TestCSRPartitionBatch:
+    def test_layout_matches_per_tree_arrays(self, database):
+        trees = [DecompositionTree(obj) for obj in database[:6]]
+        depths = [1 + (i % 3) for i in range(6)]
+        batch = csr_partitions_batch(trees, depths)
+        assert batch.num_candidates == 6
+        assert batch.offsets[0] == 0 and batch.offsets[-1] == batch.total_partitions
+        for i, (tree, depth) in enumerate(zip(trees, depths)):
+            regions, masses = tree.partitions_arrays(depth)
+            lo, hi = int(batch.offsets[i]), int(batch.offsets[i + 1])
+            assert hi - lo == masses.shape[0] == int(batch.counts[i])
+            assert np.array_equal(batch.regions[lo:hi], regions)
+            assert np.array_equal(batch.masses[lo:hi], masses)
+
+    def test_unchanged_depth_set_reuses_cached_batch(self, database):
+        trees = [DecompositionTree(obj) for obj in database[:4]]
+        first = csr_partitions_batch(trees, [2, 2, 3, 3])
+        second = csr_partitions_batch(trees, [2, 2, 3, 3])
+        assert first is second  # iteration N+1 reuses N's concatenation
+        third = csr_partitions_batch(trees, [2, 2, 3, 4])
+        assert third is not first
+
+    def test_cache_key_uses_effective_depth(self, database):
+        tree = DecompositionTree(database[0], max_depth=2)
+        capped = csr_partitions_batch([tree], [5])
+        exact = csr_partitions_batch([tree], [2])
+        assert capped is exact  # both clamp to max_depth=2
+
+    def test_arrays_are_read_only(self, database):
+        batch = csr_partitions_batch([DecompositionTree(database[0])], [2])
+        for array in (batch.regions, batch.masses, batch.offsets):
+            assert not array.flags.writeable
+            with pytest.raises(ValueError):
+                array[...] = 0
+
+    def test_empty_batch(self):
+        batch = csr_partitions_batch([], [])
+        assert batch.num_candidates == 0
+        assert batch.total_partitions == 0
+        assert batch.offsets.tolist() == [0]
+
+    def test_mismatched_lengths_raise(self, database):
+        with pytest.raises(ValueError):
+            csr_partitions_batch([DecompositionTree(database[0])], [1, 2])
+
+    def test_clear_csr_cache(self, database):
+        trees = [DecompositionTree(database[0])]
+        first = csr_partitions_batch(trees, [1])
+        clear_csr_cache()
+        second = csr_partitions_batch(trees, [1])
+        assert first is not second
+        assert np.array_equal(first.regions, second.regions)
+
+
+# --------------------------------------------------------------------- #
+# timing instrumentation
+# --------------------------------------------------------------------- #
+class TestKernelTiming:
+    def test_counters_accumulate_per_call(self, database):
+        tree = DecompositionTree(database[0])
+        batch = csr_partitions_batch([tree], [3])
+        grid, _ = DecompositionTree(database[1]).partitions_arrays(1)
+        before_seconds = total_kernel_seconds()
+        before_calls = kernel_stats()["kernel_calls"]
+        pdom_bounds_csr(
+            batch.regions, batch.masses, batch.offsets, grid, grid, backend="numpy"
+        )
+        assert total_kernel_seconds() > before_seconds
+        assert kernel_stats()["kernel_calls"] == before_calls + 1
+        assert kernel_stats()["per_backend_calls"]["numpy"] >= 1
+
+    def test_iteration_stats_record_backend_and_time(self, database, reference):
+        idca = IDCA(database, kernel_backend="numpy")
+        result = idca.domination_count(
+            0, reference, stop=MaxIterations(2), max_iterations=2
+        )
+        refined = result.iterations[1:]
+        assert refined, "expected at least one refinement iteration"
+        for stat in refined:
+            assert stat.kernel_backend == "numpy"
+            assert 0.0 <= stat.kernel_seconds <= stat.elapsed_seconds
+        # the fresh run computed at least one column in the kernel
+        assert any(stat.kernel_seconds > 0.0 for stat in refined)
+
+    def test_batch_report_surfaces_kernel_fields(self, database, requests):
+        engine = QueryEngine(database)
+        engine.evaluate_many(requests, ExecutorConfig(mode="serial"))
+        report = engine.last_batch_report
+        assert report.kernel_backend == resolve_backend(None)
+        assert report.kernel_seconds > 0.0
+        payload = report.to_dict()
+        assert payload["kernel_backend"] == report.kernel_backend
+        assert payload["kernel_seconds"] == report.kernel_seconds
+
+
+# --------------------------------------------------------------------- #
+# engine-level parity: backends × workers × shared bounds store
+# --------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def serial_snapshot(database, requests):
+    return _snapshot(QueryEngine(database).evaluate_many(requests))
+
+
+class TestEngineBackendParity:
+    @pytest.mark.parametrize("backend", ["numpy", "numba"])
+    def test_serial_backend_override_is_bit_identical(
+        self, database, requests, serial_snapshot, backend
+    ):
+        engine = QueryEngine(database)
+        config = ExecutorConfig(mode="serial", kernel_backend=backend)
+        assert _snapshot(engine.evaluate_many(requests, config)) == serial_snapshot
+        # the per-batch override does not stick to the engine
+        assert engine.kernel_backend is None
+
+    @pytest.mark.parametrize("backend", ["numpy", "numba"])
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_process_pool_backend_is_bit_identical(
+        self, database, requests, serial_snapshot, workers, backend
+    ):
+        engine = QueryEngine(database, kernel_backend=backend)
+        config = ExecutorConfig(mode="process", workers=workers)
+        assert _snapshot(engine.evaluate_many(requests, config)) == serial_snapshot
+        report = engine.last_batch_report
+        assert report.kernel_backend == resolve_backend(backend)
+
+    @pytest.mark.parametrize("shared_bounds", [False, True])
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_service_backends_shared_bounds_matrix(
+        self, database, requests, serial_snapshot, workers, shared_bounds
+    ):
+        if shared_bounds and not bound_store_available():
+            pytest.skip("shared bounds store unavailable on this platform")
+        engine = QueryEngine(database, kernel_backend="numpy")
+        config = ExecutorConfig(workers=workers, shared_bounds=shared_bounds)
+        with QueryService(engine, config) as service:
+            assert _snapshot(service.evaluate_many(requests)) == serial_snapshot
+            assert _snapshot(service.evaluate_many(requests)) == serial_snapshot
+
+    def test_forced_numpy_env_is_bit_identical(
+        self, database, requests, serial_snapshot, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "numpy")
+        engine = QueryEngine(database)
+        assert _snapshot(engine.evaluate_many(requests)) == serial_snapshot
+        assert engine.last_batch_report.kernel_backend == "numpy"

@@ -25,13 +25,14 @@ from repro.core import (
     ugf_pmf_bounds_batch,
 )
 from repro.core.generating_functions import UncertainGeneratingFunction
+from repro.core.kernels import _pdom_csr_numba, _pdom_csr_numpy, pdom_bounds_csr
 from repro.datasets import (
     discrete_sample_database,
     random_reference_object,
     uniform_rectangle_database,
 )
 from repro.geometry import domination_bulk
-from repro.uncertain import DecompositionTree
+from repro.uncertain import DecompositionTree, csr_partitions_batch
 
 
 def _random_rects(rng, shape):
@@ -310,6 +311,232 @@ class TestPdomBoundsBatch:
         )
         assert result.num_iterations >= 1
         assert np.all(result.bounds.lower <= result.bounds.upper)
+
+
+def _padded_reference(trees, depths, target_regions, reference_regions, p, criterion):
+    """Bounds via the legacy padded-dense kernel for the same candidate set."""
+    parts = [t.partitions_arrays(d) for t, d in zip(trees, depths)]
+    counts = np.array([m.shape[0] for _, m in parts])
+    pad_to = int(counts.max())
+    stacked_regions = np.stack(
+        [t.partitions_arrays(d, pad_to=pad_to)[0] for t, d in zip(trees, depths)]
+    )
+    stacked_masses = np.stack(
+        [t.partitions_arrays(d, pad_to=pad_to)[1] for t, d in zip(trees, depths)]
+    )
+    return pdom_bounds_batch(
+        stacked_regions,
+        stacked_masses,
+        target_regions,
+        reference_regions,
+        p=p,
+        criterion=criterion,
+        partition_counts=counts,
+    )
+
+
+class TestCSRKernelParity:
+    """The four pair-bounds paths must agree: numpy-CSR ≡ numba-CSR bitwise
+    always, and all of them ≡ the legacy padded kernel and the scalar
+    reference bit-for-bit on dyadic (uniform-database) masses.
+
+    ``_pdom_csr_numba`` is exercised directly: without numba installed its
+    kernel body runs as plain Python, so this suite checks the *arithmetic*
+    of the fused kernel on both CI legs (with and without numba), not just
+    the dispatcher's fallback.
+    """
+
+    def _uniform_fixture(self, seed=21, num=10):
+        database = uniform_rectangle_database(num, max_extent=0.06, seed=seed)
+        trees = [DecompositionTree(obj) for obj in database]
+        depths = [1 + (i % 4) for i in range(len(trees))]
+        target = DecompositionTree(random_reference_object(extent=0.06, seed=seed + 1))
+        reference = DecompositionTree(random_reference_object(extent=0.06, seed=seed + 2))
+        target_regions, _ = target.partitions_arrays(2)
+        reference_regions, _ = reference.partitions_arrays(1)
+        return trees, depths, target_regions, reference_regions
+
+    def _discrete_fixture(self, seed=23):
+        database = discrete_sample_database(
+            num_objects=6, samples_per_object=7, max_extent=0.3, seed=seed
+        )
+        trees = [DecompositionTree(obj) for obj in database]
+        depths = [1 + (i % 4) for i in range(len(trees))]
+        target = DecompositionTree(database[0])
+        target_regions, _ = target.partitions_arrays(1)
+        return trees, depths, target_regions, target_regions[:1]
+
+    @pytest.mark.parametrize("p", [1.0, 2.0, 3.0])
+    @pytest.mark.parametrize("criterion", ["optimal", "minmax"])
+    def test_csr_backends_bit_identical(self, p, criterion):
+        """numpy-CSR and the fused numba kernel agree bit-for-bit, always —
+        including on non-dyadic (discrete) masses, where the shared strict
+        sequential fold is what makes the agreement exact."""
+        for fixture in (self._uniform_fixture, self._discrete_fixture):
+            trees, depths, target_regions, reference_regions = fixture()
+            batch = csr_partitions_batch(trees, depths)
+            lower_np, upper_np = _pdom_csr_numpy(
+                batch.regions, batch.masses, batch.offsets,
+                target_regions, reference_regions, p, criterion,
+            )
+            lower_nb, upper_nb = _pdom_csr_numba(
+                batch.regions, batch.masses, batch.offsets,
+                target_regions, reference_regions, p, criterion,
+            )
+            assert np.array_equal(lower_np, lower_nb)
+            assert np.array_equal(upper_np, upper_nb)
+
+    @pytest.mark.parametrize("p", [1.0, 2.0])
+    @pytest.mark.parametrize("criterion", ["optimal", "minmax"])
+    def test_all_four_paths_agree_on_uniform(self, p, criterion):
+        """CSR (both backends) and the scalar loop all accumulate masses via
+        the same strict left-to-right fold, so they agree bit-for-bit.  The
+        legacy padded kernel goes through ``np.sum``'s pairwise blocking,
+        which re-associates once a candidate holds eight or more partitions —
+        it matches the fold only to within a few ulp."""
+        trees, depths, target_regions, reference_regions = self._uniform_fixture()
+        batch = csr_partitions_batch(trees, depths)
+        lower_np, upper_np = _pdom_csr_numpy(
+            batch.regions, batch.masses, batch.offsets,
+            target_regions, reference_regions, p, criterion,
+        )
+        lower_nb, upper_nb = _pdom_csr_numba(
+            batch.regions, batch.masses, batch.offsets,
+            target_regions, reference_regions, p, criterion,
+        )
+        lower_pad, upper_pad = _padded_reference(
+            trees, depths, target_regions, reference_regions, p, criterion
+        )
+        parts = [t.partitions_arrays(d) for t, d in zip(trees, depths)]
+        lower_ref, upper_ref = _scalar_reference(
+            parts, target_regions, reference_regions, p=p, criterion=criterion
+        )
+        for lower, upper in ((lower_nb, upper_nb), (lower_ref, upper_ref)):
+            assert np.array_equal(lower_np, lower)
+            assert np.array_equal(upper_np, upper)
+        np.testing.assert_allclose(lower_pad, lower_np, rtol=0.0, atol=1e-12)
+        np.testing.assert_allclose(upper_pad, upper_np, rtol=0.0, atol=1e-12)
+
+    @pytest.mark.parametrize("p", [1.0, 2.0, 3.0])
+    @pytest.mark.parametrize("criterion", ["optimal", "minmax"])
+    def test_csr_matches_scalar_on_discrete(self, p, criterion):
+        """On non-dyadic masses the fold order differs from np.sum's pairwise
+        blocking, so CSR vs padded/scalar is exact only to re-association."""
+        trees, depths, target_regions, reference_regions = self._discrete_fixture()
+        batch = csr_partitions_batch(trees, depths)
+        lower, upper = pdom_bounds_csr(
+            batch.regions, batch.masses, batch.offsets,
+            target_regions, reference_regions, p=p, criterion=criterion,
+            backend="numpy",
+        )
+        parts = [t.partitions_arrays(d) for t, d in zip(trees, depths)]
+        lower_ref, upper_ref = _scalar_reference(
+            parts, target_regions, reference_regions, p=p, criterion=criterion
+        )
+        np.testing.assert_allclose(lower, lower_ref, rtol=0, atol=1e-12)
+        np.testing.assert_allclose(upper, upper_ref, rtol=0, atol=1e-12)
+        lower_pad, upper_pad = _padded_reference(
+            trees, depths, target_regions, reference_regions, p, criterion
+        )
+        np.testing.assert_allclose(lower, lower_pad, rtol=0, atol=1e-12)
+        np.testing.assert_allclose(upper, upper_pad, rtol=0, atol=1e-12)
+
+    def test_zero_partition_candidate_gets_scalar_bounds(self):
+        """An empty CSR segment yields the (0, 0) bounds of the scalar path."""
+        rng = np.random.default_rng(24)
+        regions = _random_rects(rng, (3,))
+        masses = np.array([0.25, 0.25, 0.5])
+        offsets = np.array([0, 3, 3], dtype=np.int64)  # candidate 1 is empty
+        grid = _random_rects(rng, (2,))
+        for impl in (_pdom_csr_numpy, _pdom_csr_numba):
+            lower, upper = impl(regions, masses, offsets, grid, grid[:1], 2.0, "optimal")
+            assert np.all(lower[:, 1] == 0.0) and np.all(upper[:, 1] == 0.0)
+            scalar = _scalar_reference(
+                [(regions, masses), (regions[:0], masses[:0])], grid, grid[:1]
+            )
+            assert np.array_equal(lower, scalar[0])
+            assert np.array_equal(upper, scalar[1])
+
+    def test_empty_candidate_batch(self):
+        batch = csr_partitions_batch([], [])
+        grid_b = np.zeros((2, 2, 2))
+        grid_r = np.zeros((3, 2, 2))
+        lower, upper = pdom_bounds_csr(
+            batch.regions, batch.masses, batch.offsets, grid_b, grid_r
+        )
+        assert lower.shape == (6, 0) and upper.shape == (6, 0)
+
+    def test_invalid_p_raises(self):
+        rng = np.random.default_rng(25)
+        regions = _random_rects(rng, (2,))
+        masses = np.array([0.5, 0.5])
+        offsets = np.array([0, 2], dtype=np.int64)
+        grid = _random_rects(rng, (1,))
+        with pytest.raises(ValueError):
+            pdom_bounds_csr(regions, masses, offsets, grid, grid, p=math.inf)
+        with pytest.raises(ValueError):
+            pdom_bounds_csr(regions, masses, offsets, grid, grid, p=0.5)
+        with pytest.raises(ValueError):
+            pdom_bounds_csr(regions, masses, offsets, grid, grid, criterion="bogus")
+
+    def test_malformed_csr_raises(self):
+        rng = np.random.default_rng(26)
+        regions = _random_rects(rng, (3,))
+        masses = np.array([0.25, 0.25, 0.5])
+        grid = _random_rects(rng, (1,))
+        with pytest.raises(ValueError):  # offsets must end at total_partitions
+            pdom_bounds_csr(regions, masses, np.array([0, 2]), grid, grid)
+        with pytest.raises(ValueError):  # non-monotone offsets
+            pdom_bounds_csr(regions, masses, np.array([0, 2, 1, 3]), grid, grid)
+        with pytest.raises(ValueError):  # masses/regions row mismatch
+            pdom_bounds_csr(regions, masses[:2], np.array([0, 2]), grid, grid)
+
+
+class TestGridValidation:
+    """Satellite fix: transposed / malformed partition grids must raise
+    instead of broadcasting into silently wrong bounds."""
+
+    def _candidates(self):
+        rng = np.random.default_rng(27)
+        regions = _random_rects(rng, (2, 3))
+        masses = np.full((2, 3), 1.0 / 3.0)
+        return regions, masses
+
+    def test_padded_kernel_rejects_transposed_grid(self):
+        regions, masses = self._candidates()
+        grid = _random_rects(rng := np.random.default_rng(28), (4,))
+        transposed = np.transpose(grid, (1, 0, 2))  # (d, n, 2)
+        with pytest.raises(ValueError):
+            pdom_bounds_batch(regions, masses, transposed, grid)
+        with pytest.raises(ValueError):
+            pdom_bounds_batch(regions, masses, grid, transposed)
+
+    def test_padded_kernel_rejects_wrong_ndim(self):
+        regions, masses = self._candidates()
+        grid = _random_rects(np.random.default_rng(29), (4,))
+        with pytest.raises(ValueError):
+            pdom_bounds_batch(regions, masses, grid[0], grid)  # (d, 2): ndim 2
+        with pytest.raises(ValueError):
+            pdom_bounds_batch(regions, masses, grid, grid[None])  # ndim 4
+
+    def test_csr_kernel_rejects_transposed_grid(self):
+        rng = np.random.default_rng(30)
+        regions = _random_rects(rng, (3,))
+        masses = np.array([0.25, 0.25, 0.5])
+        offsets = np.array([0, 3], dtype=np.int64)
+        grid = _random_rects(rng, (4,))
+        transposed = np.transpose(grid, (1, 0, 2))
+        with pytest.raises(ValueError):
+            pdom_bounds_csr(regions, masses, offsets, transposed, grid)
+        with pytest.raises(ValueError):
+            pdom_bounds_csr(regions, masses, offsets, grid, transposed)
+
+    def test_dimension_mismatch_against_candidates_raises(self):
+        regions, masses = self._candidates()  # d = 2
+        grid_3d = _random_rects(np.random.default_rng(31), (4,)).repeat(1, axis=0)
+        grid_3d = np.concatenate([grid_3d, grid_3d[:, :1]], axis=1)  # (4, 3, 2)
+        with pytest.raises(ValueError):
+            pdom_bounds_batch(regions, masses, grid_3d, grid_3d)
 
 
 class TestBatchedAggregation:
