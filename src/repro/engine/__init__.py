@@ -11,7 +11,10 @@ caches across a whole workload — serially or, with an
 ``engine/executor.py`` for the worker lifecycle and determinism contract).
 For long-running processes, :class:`QueryService` keeps one worker pool
 alive across every batch and ships the dataset to the workers through
-shared memory (see ``engine/service.py``).
+shared memory (see ``engine/service.py``).  The service tier is
+fault-tolerant — crashed workers are respawned and their chunks re-driven,
+batches can carry deadlines, and admission control bounds the queue — with
+the failure contract expressed by the typed errors of ``engine/errors.py``.
 """
 
 from .boundstore import (
@@ -29,6 +32,13 @@ from .candidates import (
 )
 from .context import CacheStats, RefinementContext, TieredPairBoundsCache
 from .engine import QueryEngine
+from .errors import (
+    DeadlineExceeded,
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadedError,
+    WorkerCrashError,
+)
 from .executor import (
     BatchReport,
     ChunkStats,
@@ -58,6 +68,7 @@ __all__ = [
     "CacheStats",
     "CandidateSource",
     "ChunkStats",
+    "DeadlineExceeded",
     "ExecutorConfig",
     "DominationCountQuery",
     "InverseRankingQuery",
@@ -74,8 +85,12 @@ __all__ = [
     "RTreeCandidateSource",
     "ScanCandidateSource",
     "ServiceBatch",
+    "ServiceClosedError",
+    "ServiceError",
+    "ServiceOverloadedError",
     "SharedBoundStore",
     "TieredPairBoundsCache",
+    "WorkerCrashError",
     "WorkerPool",
     "adaptive_chunk_size",
     "affine_partition",

@@ -260,6 +260,14 @@ class BoundStoreClient:
         self.duplicates = 0
         #: Publishes rejected because the segment or the index was full.
         self.rejected = 0
+        #: Records a validated read rejected as corrupt (bad magic, CRC
+        #: mismatch, or an out-of-bounds geometry field).  Distinct from a
+        #: fingerprint collision, which is benign and keeps probing.
+        self.corruptions = 0
+        #: Latched on the first detected corruption: the client demotes
+        #: itself to read-nothing/write-nothing and the tiered cache falls
+        #: back to process-local memoisation (see ``context.py``).
+        self._demoted = False
 
     # ------------------------------------------------------------------ #
     # construction
@@ -286,7 +294,24 @@ class BoundStoreClient:
     @property
     def writable(self) -> bool:
         """Whether this client owns a segment and can still publish into it."""
-        return self._segment is not None and not self._full
+        return self._segment is not None and not self._full and not self._demoted
+
+    @property
+    def demoted(self) -> bool:
+        """Whether this client saw store corruption and dropped to local-only.
+
+        The validated-read path (magic + key CRC + bounds-checked geometry)
+        makes a corrupt record unreadable, never a wrong answer; but a store
+        someone scribbled on cannot be trusted for *future* records either,
+        so the first detected corruption latches the client off.  The worker
+        keeps serving batches from its process-local caches — graceful
+        degradation, surfaced as ``shared_degraded`` in :class:`ChunkStats`.
+        """
+        return self._demoted
+
+    def _note_corruption(self) -> None:
+        self.corruptions += 1
+        self._demoted = True
 
     @property
     def segment(self) -> Optional[int]:
@@ -377,7 +402,13 @@ class BoundStoreClient:
             if not word & _PRESENT or ((word >> 40) & 0x7FFFFF) != tag:
                 continue
             record = self._read_record(word, key_bytes)
-            if record is None or record is False:
+            if record is False:
+                continue  # benign fingerprint collision: keep probing
+            if record is None:
+                # validation failed — someone scribbled on the store.  The
+                # lookup stays safe (nothing was returned), but the client
+                # stops trusting the store from here on.
+                self._note_corruption()
                 continue
             self.hits += 1
             return record
@@ -489,6 +520,8 @@ class BoundStoreClient:
             "publishes": self.publishes,
             "duplicates": self.duplicates,
             "rejected": self.rejected,
+            "corruptions": self.corruptions,
+            "demoted": self._demoted,
             "segment": self._segment,
             "segment_used_bytes": used,
         }

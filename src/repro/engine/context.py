@@ -98,7 +98,7 @@ class TieredPairBoundsCache(CacheStats):
             self.hits += 1
             return value
         store = self._context.shared_store
-        if store is not None:
+        if store is not None and not store.demoted:
             encoded = self._context.stable_pair_key(key)
             if encoded is not None:
                 entry = store.get(encoded)
@@ -325,9 +325,14 @@ class RefinementContext:
 
         ``pair_bounds_hits``/``pair_bounds_misses`` describe the local tier;
         the ``shared_*`` counters describe the cross-worker tier (all zero
-        while no store is attached).
+        while no store is attached).  ``shared_corruptions`` counts store
+        records the client's validated reads rejected, and
+        ``shared_degraded`` says whether the client has demoted itself to
+        local-only memoisation as a result — the graceful-degradation
+        signal the chunk stats surface per worker.
         """
         cache = self.pair_bounds_cache
+        store = self.shared_store
         return {
             "trees": len(self.tree_cache),
             "pair_bounds": len(cache),
@@ -336,7 +341,9 @@ class RefinementContext:
             "shared_hits": cache.shared_hits,
             "shared_misses": cache.shared_misses,
             "shared_publishes": cache.shared_publishes,
-            "shared_store": self.shared_store is not None,
+            "shared_store": store is not None,
+            "shared_corruptions": store.corruptions if store is not None else 0,
+            "shared_degraded": bool(store is not None and store.demoted),
         }
 
     def clear(self) -> None:

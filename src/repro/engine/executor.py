@@ -40,6 +40,19 @@ alive across every batch of the process lifetime.  When the database carries
 an active shared-memory export (``UncertainDatabase.share_memory``), the
 engine payload both paths ship is a lightweight handle and workers *map* the
 dataset instead of unpickling a copy.
+
+Fault tolerance: the pool *supervises* its lanes.  A lane whose worker dies
+(SIGKILL, OOM, segfault) surfaces as ``BrokenProcessPool`` on the in-flight
+future; the pool respawns the lane with the very same initargs — engine
+payload, bound-store handle, lane index — and re-drives the chunk with
+bounded exponential backoff.  The retry is safe because results are
+deterministic and the shared bounds store still holds every column the dead
+worker published, so the replay is bit-identical *and* cheaper than the
+first attempt.  A ``deadline_epoch`` propagates into the workers (the
+refinement scheduler checks it every iteration) and arms a parent-side
+wall-clock watchdog that SIGKILLs and respawns a lane wedged past the
+deadline plus :attr:`WorkerPool.watchdog_grace`.  Both escalation paths
+raise the typed errors of ``engine/errors.py``.
 """
 
 from __future__ import annotations
@@ -52,9 +65,11 @@ import sys
 import threading
 import time
 from collections import Counter
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Literal, Optional, Sequence, Union
+
+from .errors import DeadlineExceeded, WorkerCrashError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from .boundstore import BoundStoreHandle, SharedBoundStore
@@ -85,6 +100,26 @@ ADAPTIVE = "adaptive"
 #: small enough to keep all workers busy at the tail of a batch, large
 #: enough that per-chunk dispatch overhead stays negligible.
 ADAPTIVE_TARGET_CHUNK_SECONDS = 0.2
+
+#: How many times a chunk whose worker died is re-driven on the respawned
+#: lane before the crash escalates as :class:`WorkerCrashError`.
+DEFAULT_MAX_CHUNK_RETRIES = 3
+
+#: Base of the exponential backoff between a respawn and the retry submit
+#: (``backoff * 2**attempt`` seconds) — long enough to not hammer a host
+#: that is OOM-killing workers, short enough to be invisible per batch.
+DEFAULT_RETRY_BACKOFF_SECONDS = 0.05
+
+#: Grace beyond a batch's deadline before the wall-clock watchdog declares
+#: a lane wedged and SIGKILLs it.  Covers the benign case of a chunk that
+#: noticed the deadline in-worker and is busy raising/unwinding.
+DEFAULT_WATCHDOG_GRACE_SECONDS = 2.0
+
+#: Environment variable the fault-injection harness plants its plan in
+#: (see ``repro/testing/faults.py``).  Workers check the variable once per
+#: chunk; when unset — always, outside chaos tests — the hook is never
+#: imported and costs one dict lookup.
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
 
 
 def validate_chunk_size(value) -> None:
@@ -252,6 +287,12 @@ class ChunkStats:
     kernel during the chunk (a delta of the process-local counters in
     ``repro/core/kernels.py``), so batch time can be attributed to the
     kernel layer without reaching into refinement state.
+
+    ``shared_corruptions`` counts store records the worker's validated reads
+    rejected during the chunk (bad magic/CRC — someone scribbled on the
+    segment), and ``shared_degraded`` is 1 when the worker ran the chunk
+    demoted to purely local memoisation (it detected corruption, or never
+    managed to attach the store at all).  Both are 0 in healthy operation.
     """
 
     chunk: int
@@ -270,6 +311,8 @@ class ChunkStats:
     shared_publishes: int = 0
     kernel_backend: str = ""
     kernel_seconds: float = 0.0
+    shared_corruptions: int = 0
+    shared_degraded: int = 0
 
 
 @dataclass(frozen=True)
@@ -293,6 +336,13 @@ class BatchReport:
     #: (a pool created and torn down by this call) or ``"persistent"`` (a
     #: long-lived :class:`~repro.engine.service.QueryService` pool).
     pool: str = "none"
+    #: Worker lanes the pool respawned while executing this batch (a crashed
+    #: or watchdog-killed worker, replaced with the same initargs).
+    worker_respawns: int = 0
+    #: Chunks re-driven on a respawned lane after their worker died.  The
+    #: retries are bit-identical by determinism + warm shared bounds, so a
+    #: non-zero count changes latency only, never results.
+    chunk_retries: int = 0
 
     @property
     def num_chunks(self) -> int:
@@ -301,8 +351,40 @@ class BatchReport:
 
     @property
     def worker_pids(self) -> tuple[int, ...]:
-        """Distinct worker process ids that executed chunks, sorted."""
+        """Distinct worker process ids that executed chunks, sorted.
+
+        Bounded by ``workers + worker_respawns``: a lane contributes one pid
+        for its original worker plus one per respawn of that lane.
+        """
         return tuple(sorted({stats.pid for stats in self.chunks}))
+
+    @property
+    def completed_requests(self) -> int:
+        """Requests that actually executed — the sum of chunk sizes.
+
+        Equals :attr:`num_requests` for a successful batch; the distinction
+        matters for adaptive chunk sizing, which must divide observed time
+        by the work that *ran*, not the work that was submitted (a report
+        can legitimately carry zero completed requests, e.g. an empty batch
+        or a history record from a failed run).
+        """
+        return sum(stats.size for stats in self.chunks)
+
+    @property
+    def shared_corruptions(self) -> int:
+        """Corrupt shared-store records rejected by validated reads, summed."""
+        return sum(stats.shared_corruptions for stats in self.chunks)
+
+    @property
+    def degraded_workers(self) -> int:
+        """Workers that ran chunks demoted to local-only memoisation.
+
+        Counts distinct pids whose chunks report ``shared_degraded`` — the
+        graceful-degradation counter the tentpole's failure model promises:
+        a worker that cannot trust (or attach) the shared store keeps
+        serving batches from its process-local caches instead of failing.
+        """
+        return len({stats.pid for stats in self.chunks if stats.shared_degraded})
 
     @property
     def scheduler_steps(self) -> int:
@@ -442,6 +524,11 @@ class BatchReport:
             "shared_misses": self.shared_misses,
             "shared_publishes": self.shared_publishes,
             "shared_hit_rate": self.shared_hit_rate,
+            "shared_corruptions": self.shared_corruptions,
+            "degraded_workers": self.degraded_workers,
+            "worker_respawns": self.worker_respawns,
+            "chunk_retries": self.chunk_retries,
+            "completed_requests": self.completed_requests,
             "kernel_backend": self.kernel_backend,
             "kernel_seconds": self.kernel_seconds,
             "kinds": self.kinds,
@@ -608,6 +695,15 @@ def adaptive_chunk_size(
 # state (RefinementScheduler reduces to its configuration).
 _WORKER_ENGINE: Optional["QueryEngine"] = None
 
+# Lane index this worker serves (shipped as an initarg), used only by the
+# fault-injection harness to target a specific lane.
+_WORKER_LANE: Optional[int] = None
+
+# Latched when the worker had a bound-store handle but could not attach the
+# store (block unlinked, platform refused): the worker runs demoted to
+# process-local memoisation and every chunk reports shared_degraded=1.
+_WORKER_STORE_DEGRADED = False
+
 
 def result_iteration_stats(results: Sequence) -> tuple[int, float]:
     """Merge the per-result ``IterationStats``-level counters of a chunk.
@@ -644,18 +740,25 @@ def result_iteration_stats(results: Sequence) -> tuple[int, float]:
 
 
 def _initialise_worker(
-    payload: bytes, bound_store_handle: Optional["BoundStoreHandle"] = None
+    payload: bytes,
+    bound_store_handle: Optional["BoundStoreHandle"] = None,
+    lane: Optional[int] = None,
 ) -> None:
     """Pool initializer: unpack the engine shipped by the parent process.
 
     With a bound-store handle (shipped as a separate initarg, never inside
     the engine payload), the worker additionally attaches the cross-worker
     shared bounds store and claims a publish segment; any failure to attach
-    degrades silently to process-local memoisation — the graceful-fallback
-    rule of ``engine/boundstore.py``.
+    degrades to process-local memoisation — the graceful-fallback rule of
+    ``engine/boundstore.py`` — and latches ``shared_degraded`` so the
+    demotion is visible in every :class:`ChunkStats` the worker reports.
+    A respawned lane runs this initializer again with identical arguments,
+    which is what makes supervision transparent: the fresh worker attaches
+    the same store and finds every column its predecessor published.
     """
-    global _WORKER_ENGINE
+    global _WORKER_ENGINE, _WORKER_LANE, _WORKER_STORE_DEGRADED
     _WORKER_ENGINE = pickle.loads(payload)
+    _WORKER_LANE = lane
     if bound_store_handle is not None:
         from .boundstore import BoundStoreClient
 
@@ -663,12 +766,16 @@ def _initialise_worker(
             client = BoundStoreClient.from_handle(bound_store_handle)
         except Exception:  # block gone or platform refused: local caches only
             client = None
+            _WORKER_STORE_DEGRADED = True
         if client is not None:
             _WORKER_ENGINE.context.attach_shared_store(client)
 
 
 def run_chunk_on_engine(
-    engine: "QueryEngine", requests: Sequence["QueryRequest"], chunk_index: int = 0
+    engine: "QueryEngine",
+    requests: Sequence["QueryRequest"],
+    chunk_index: int = 0,
+    deadline_epoch: Optional[float] = None,
 ) -> tuple[list, ChunkStats]:
     """Evaluate ``requests`` on ``engine`` and measure them as one chunk.
 
@@ -677,6 +784,13 @@ def run_chunk_on_engine(
     This is the single measurement path: the serial batch mode calls it in
     the parent process and :func:`_run_chunk` calls it inside each worker,
     so the two execution modes always report comparable :class:`ChunkStats`.
+
+    ``deadline_epoch`` (a ``time.time()`` epoch, comparable across
+    processes) makes the chunk deadline-aware: the remaining requests are
+    abandoned with :class:`~repro.engine.errors.DeadlineExceeded` once the
+    epoch passes.  The scheduler-level per-iteration check (see
+    :meth:`RefinementScheduler.refine`) cuts *inside* a request; this one
+    cuts between requests, so an expired chunk never starts new work.
     """
     from ..core.kernels import resolve_backend, total_kernel_seconds
 
@@ -684,7 +798,14 @@ def run_chunk_on_engine(
     steps_before = engine.scheduler.steps_taken
     kernel_before = total_kernel_seconds()
     start = time.perf_counter()
-    results = [request.run(engine) for request in requests]
+    results = []
+    for request in requests:
+        if deadline_epoch is not None and time.time() >= deadline_epoch:
+            raise DeadlineExceeded(
+                f"chunk {chunk_index} passed its deadline with "
+                f"{len(requests) - len(results)} of {len(requests)} requests left"
+            )
+        results.append(request.run(engine))
     seconds = time.perf_counter() - start
     after = engine.context.stats()
     result_iterations, result_seconds = result_iteration_stats(results)
@@ -706,18 +827,35 @@ def run_chunk_on_engine(
         - before.get("shared_publishes", 0),
         kernel_backend=resolve_backend(getattr(engine, "kernel_backend", None)),
         kernel_seconds=total_kernel_seconds() - kernel_before,
+        shared_corruptions=after.get("shared_corruptions", 0)
+        - before.get("shared_corruptions", 0),
+        shared_degraded=int(
+            _WORKER_STORE_DEGRADED or after.get("shared_degraded", False)
+        ),
     )
     return results, stats
 
 
 def _run_chunk(
-    chunk_index: int, requests: Sequence["QueryRequest"]
+    chunk_index: int,
+    requests: Sequence["QueryRequest"],
+    deadline_epoch: Optional[float] = None,
 ) -> tuple[int, list, ChunkStats]:
     """Evaluate one chunk on the worker-local engine; returns chunk stats."""
     engine = _WORKER_ENGINE
     if engine is None:  # pragma: no cover - defensive: initializer not run
         raise RuntimeError("worker engine was never initialised")
-    results, stats = run_chunk_on_engine(engine, requests, chunk_index)
+    if os.environ.get(FAULT_PLAN_ENV):  # chaos tests only; no import otherwise
+        from ..testing.faults import chunk_fault_hook
+
+        chunk_fault_hook(_WORKER_LANE)
+    engine.scheduler.deadline_epoch = deadline_epoch
+    try:
+        results, stats = run_chunk_on_engine(
+            engine, requests, chunk_index, deadline_epoch=deadline_epoch
+        )
+    finally:
+        engine.scheduler.deadline_epoch = None
     return chunk_index, results, stats
 
 
@@ -790,6 +928,16 @@ class WorkerPool:
     next to the engine payload, through the pool's ordinary process-creation
     channel (its lock is inherited under ``fork`` and pickled by the spawn
     machinery otherwise).
+
+    Supervision (``supervised=True``, the default): a lane whose worker
+    process dies surfaces ``BrokenProcessPool`` on its futures; the pool
+    replaces the lane's executor with a fresh one built from the *same*
+    initargs and re-drives the failed chunk there, with exponential backoff
+    and at most ``max_chunk_retries`` attempts per chunk before the crash
+    escalates as :class:`~repro.engine.errors.WorkerCrashError`.  Chunks
+    merely *queued* behind the crash are resubmitted the same way.  Because
+    the respawned worker attaches the same bound store, the retry re-reads
+    everything the dead worker already published.
     """
 
     def __init__(
@@ -798,25 +946,44 @@ class WorkerPool:
         workers: int,
         start_method: Optional[str] = None,
         bound_store: Optional["SharedBoundStore"] = None,
+        supervised: bool = True,
+        max_chunk_retries: int = DEFAULT_MAX_CHUNK_RETRIES,
+        retry_backoff: float = DEFAULT_RETRY_BACKOFF_SECONDS,
+        watchdog_grace: float = DEFAULT_WATCHDOG_GRACE_SECONDS,
     ):
         if workers < 1:
             raise ValueError("workers must be at least 1")
+        if max_chunk_retries < 0:
+            raise ValueError("max_chunk_retries must be non-negative")
+        if retry_backoff < 0:
+            raise ValueError("retry_backoff must be non-negative")
+        if watchdog_grace <= 0:
+            raise ValueError("watchdog_grace must be positive")
         self.workers = workers
+        self.supervised = supervised
+        self.max_chunk_retries = max_chunk_retries
+        self.retry_backoff = retry_backoff
+        self.watchdog_grace = watchdog_grace
+        self.respawns = 0
         self._payload = pickle.dumps(engine)
-        context = _pool_context(start_method)
-        handle = bound_store.handle if bound_store is not None else None
-        self._lanes = [
-            ProcessPoolExecutor(
-                max_workers=1,
-                mp_context=context,
-                initializer=_initialise_worker,
-                initargs=(self._payload, handle),
-            )
-            for _ in range(workers)
-        ]
+        self._mp_context = _pool_context(start_method)
+        self._handle = bound_store.handle if bound_store is not None else None
+        self._lanes = [self._new_lane(lane) for lane in range(workers)]
+        # bumped on every respawn of a lane, so concurrent failures of many
+        # futures from the same dead executor trigger exactly one respawn
+        self._generation = [0] * workers
+        self._respawn_lock = threading.Lock()
         self._pending = [0] * workers
         self._pending_lock = threading.Lock()
         self._closed = False
+
+    def _new_lane(self, lane: int) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=1,
+            mp_context=self._mp_context,
+            initializer=_initialise_worker,
+            initargs=(self._payload, self._handle, lane),
+        )
 
     @property
     def payload_nbytes(self) -> int:
@@ -827,6 +994,32 @@ class WorkerPool:
     def closed(self) -> bool:
         """Whether :meth:`close` has run (a closed pool accepts no chunks)."""
         return self._closed
+
+    def _respawn_lane(self, lane: int, generation: int) -> None:
+        """Replace a dead lane's executor with a fresh worker (same initargs).
+
+        ``generation`` is the lane generation the caller observed when it
+        submitted the failed work: if the lane has already been respawned
+        since (several futures of the same dead executor fail together),
+        this is a no-op — one crash costs one respawn.
+        """
+        with self._respawn_lock:
+            if self._closed or self._generation[lane] != generation:
+                return
+            old = self._lanes[lane]
+            self._lanes[lane] = self._new_lane(lane)
+            self._generation[lane] += 1
+            self.respawns += 1
+        old.shutdown(wait=False, cancel_futures=True)
+
+    def _kill_lane(self, lane: int) -> None:
+        """SIGKILL a lane's worker process (the watchdog's hammer)."""
+        executor = self._lanes[lane]
+        for process in list(getattr(executor, "_processes", {}).values()):
+            try:
+                process.kill()
+            except Exception:  # pragma: no cover - process already gone
+                pass
 
     def submit_chunk(
         self,
@@ -839,8 +1032,21 @@ class WorkerPool:
         ``lane=None`` picks the lane with the fewest outstanding chunks
         (ties to the lowest index); an explicit lane pins the chunk to that
         worker.  Out-of-range lanes wrap modulo the pool size, so lane
-        assignments computed for a larger pool degrade gracefully.
+        assignments computed for a larger pool degrade gracefully.  On a
+        supervised pool, submitting to a lane whose worker has died respawns
+        the lane and submits to the fresh worker.
         """
+        future, _lane = self._submit_chunk(chunk_index, requests, lane)
+        return future
+
+    def _submit_chunk(
+        self,
+        chunk_index: int,
+        requests: Sequence["QueryRequest"],
+        lane: Optional[int] = None,
+        deadline_epoch: Optional[float] = None,
+    ):
+        """:meth:`submit_chunk` plus the chosen lane, for the supervisor."""
         with self._pending_lock:
             if lane is None:
                 lane = min(range(self.workers), key=lambda i: (self._pending[i], i))
@@ -848,14 +1054,29 @@ class WorkerPool:
                 lane %= self.workers
             self._pending[lane] += 1
         try:
-            future = self._lanes[lane].submit(_run_chunk, chunk_index, list(requests))
+            future = self._lanes[lane].submit(
+                _run_chunk, chunk_index, list(requests), deadline_epoch
+            )
+        except BrokenExecutor:
+            # the lane died between batches: respawn once and retry there
+            if not self.supervised:
+                self._release_lane(lane)
+                raise
+            self._respawn_lane(lane, self._generation[lane])
+            try:
+                future = self._lanes[lane].submit(
+                    _run_chunk, chunk_index, list(requests), deadline_epoch
+                )
+            except BaseException:
+                self._release_lane(lane)
+                raise
         except BaseException:
-            # e.g. a broken lane: undo the reservation so least-loaded
+            # e.g. a closed lane: undo the reservation so least-loaded
             # selection is not skewed for the pool's remaining lifetime
             self._release_lane(lane)
             raise
         future.add_done_callback(lambda _f, lane=lane: self._release_lane(lane))
-        return future
+        return future, lane
 
     def _release_lane(self, lane: int) -> None:
         with self._pending_lock:
@@ -866,7 +1087,8 @@ class WorkerPool:
         requests: Sequence["QueryRequest"],
         chunks: Sequence[Sequence[int]],
         lanes: Optional[Sequence[int]] = None,
-    ) -> tuple[list, list[ChunkStats]]:
+        deadline_epoch: Optional[float] = None,
+    ) -> tuple[list, list[ChunkStats], dict[str, int]]:
         """Execute pre-partitioned chunks and reassemble request order.
 
         ``lanes``, when given, pins chunk ``i`` to worker lane ``lanes[i]``
@@ -875,66 +1097,118 @@ class WorkerPool:
         lane (so a worker never stalls on the parent's dispatch round-trip)
         and every further chunk goes to whichever lane finishes first —
         approximating a shared-queue pool, up to the one already-queued
-        chunk per lane that cannot be stolen once primed.  Results are placed by
-        original request index, so worker scheduling affects only *where*
-        cache warm-up happens, never the results.  If any chunk raises, the
-        pending chunks are cancelled and the first failure propagates — the
-        pool itself stays usable (worker processes survive ordinary
-        exceptions), so a poisoned batch does not cost a persistent service
-        its pool.
+        chunk per lane that cannot be stolen once primed.  Results are
+        placed by original request index, so worker scheduling affects only
+        *where* cache warm-up happens, never the results.
+
+        Failure handling, in escalation order: a chunk whose worker *died*
+        (``BrokenProcessPool``) has its lane respawned and is re-driven
+        there with exponential backoff, up to ``max_chunk_retries`` times —
+        bit-identical by determinism, cheaper than the first attempt thanks
+        to the still-warm shared bounds store — before escalating as
+        :class:`~repro.engine.errors.WorkerCrashError`.  With a
+        ``deadline_epoch``, lanes still holding chunks past the deadline
+        plus :attr:`watchdog_grace` are SIGKILLed and respawned, and the
+        batch raises :class:`~repro.engine.errors.DeadlineExceeded`.  Any
+        *ordinary* chunk exception cancels the pending chunks and
+        propagates unchanged — worker processes survive it, so a poisoned
+        batch does not cost a persistent service its pool.
+
+        Returns ``(results, chunk_stats, faults)`` where ``faults`` carries
+        the batch's ``{"worker_respawns", "chunk_retries"}`` counters.
         """
         results: list = [None] * len(requests)
         chunk_stats: list[ChunkStats] = []
+        attempts = [0] * len(chunks)
+        retries = 0
+        respawns_before = self.respawns
+        pending: dict = {}  # in-flight future -> (chunk index, lane, generation)
 
-        def _collect(future) -> None:
-            index, chunk_results, stats = future.result()
-            for position, result in zip(chunks[index], chunk_results):
-                results[position] = result
-            chunk_stats.append(stats)
+        def _submit(index: int, lane: Optional[int]) -> None:
+            future, chosen = self._submit_chunk(
+                index, [requests[i] for i in chunks[index]], lane, deadline_epoch
+            )
+            pending[future] = (index, chosen, self._generation[chosen])
 
         if lanes is not None:
-            futures = [
-                self.submit_chunk(index, [requests[i] for i in chunk], lanes[index])
-                for index, chunk in enumerate(chunks)
-            ]
-            try:
-                for future in futures:
-                    _collect(future)
-            except BaseException:
-                for future in futures:
-                    future.cancel()
-                raise
+            feed = None
+            for index in range(len(chunks)):
+                _submit(index, lanes[index])
         else:
             order = iter(range(len(chunks)))
-            lane_of: dict = {}  # in-flight future -> its lane
 
-            def _feed(lane: Optional[int]) -> None:
+            def feed(lane: int) -> None:
                 index = next(order, None)
                 if index is not None:
-                    future = self.submit_chunk(
-                        index, [requests[i] for i in chunks[index]], lane
-                    )
-                    lane_of[future] = lane
+                    _submit(index, lane)
 
-            try:
-                # depth-2 pipeline per lane: one chunk running, one queued,
-                # so a worker never stalls on the parent's dispatch
-                # round-trip between chunks
-                for _ in range(2):
-                    for lane in range(self.workers):
-                        _feed(lane)
-                while lane_of:
-                    done, _ = wait(lane_of, return_when=FIRST_COMPLETED)
-                    for future in done:
-                        freed = lane_of.pop(future)
-                        _collect(future)
-                        _feed(freed)
-            except BaseException:
-                for future in lane_of:
-                    future.cancel()
-                raise
+            # depth-2 pipeline per lane: one chunk running, one queued, so a
+            # worker never stalls on the parent's dispatch round-trip
+            for _ in range(2):
+                for lane in range(self.workers):
+                    feed(lane)
+
+        try:
+            while pending:
+                timeout = None
+                if deadline_epoch is not None:
+                    timeout = max(
+                        0.0, deadline_epoch + self.watchdog_grace - time.time()
+                    )
+                done, _ = wait(
+                    set(pending), timeout=timeout, return_when=FIRST_COMPLETED
+                )
+                if not done:
+                    # watchdog: nothing finished by deadline + grace — the
+                    # lane(s) are wedged beyond what in-worker deadline
+                    # checks can reach.  Kill, respawn, fail the batch.
+                    wedged = sorted({entry[1] for entry in pending.values()})
+                    for lane in wedged:
+                        generation = self._generation[lane]
+                        self._kill_lane(lane)
+                        self._respawn_lane(lane, generation)
+                    raise DeadlineExceeded(
+                        f"deadline passed {self.watchdog_grace:.1f}s ago; "
+                        f"terminated and respawned wedged worker lane(s) {wedged}"
+                    )
+                for future in done:
+                    index, lane, generation = pending.pop(future)
+                    try:
+                        _, chunk_results, stats = future.result()
+                    except BrokenExecutor as error:
+                        # the lane's worker died under this chunk (or under
+                        # the chunk queued ahead of it) — respawn and retry
+                        self._respawn_lane(lane, generation)
+                        if not self.supervised or attempts[index] >= self.max_chunk_retries:
+                            raise WorkerCrashError(
+                                f"worker lane {lane} died running chunk {index} "
+                                f"(attempt {attempts[index] + 1})"
+                            ) from error
+                        if deadline_epoch is not None and time.time() >= deadline_epoch:
+                            raise DeadlineExceeded(
+                                f"worker lane {lane} died running chunk {index} "
+                                "and the batch deadline leaves no time to retry"
+                            ) from error
+                        time.sleep(self.retry_backoff * (2 ** attempts[index]))
+                        attempts[index] += 1
+                        retries += 1
+                        _submit(index, lane)
+                        continue
+                    for position, result in zip(chunks[index], chunk_results):
+                        results[position] = result
+                    chunk_stats.append(stats)
+                    if feed is not None:
+                        feed(lane)
+        except BaseException:
+            for future in pending:
+                future.cancel()
+            raise
         chunk_stats.sort(key=lambda stats: stats.chunk)
-        return results, chunk_stats
+        faults = {
+            "worker_respawns": self.respawns - respawns_before,
+            "chunk_retries": retries,
+        }
+        return results, chunk_stats, faults
 
     def probe(self, lane: int = 0) -> dict:
         """Run the worker probe on one worker lane and return its report."""
@@ -980,13 +1254,16 @@ def run_process_batch(
     workers = config.effective_workers
     chunk_size = config.chunk_size
     if chunk_size == ADAPTIVE:
-        # one-report history: the engine's previous batch, when there was one
+        # one-report history: the engine's previous batch, when there was one.
+        # Divide by the requests that actually *ran* — a history report with
+        # zero completed requests (empty or failed batch) carries no cost
+        # signal and falls through to default sizing.
         previous = engine.last_batch_report
         per_request = None
-        if previous is not None and previous.num_requests:
+        if previous is not None and previous.completed_requests > 0:
             per_request = (
                 sum(stats.seconds for stats in previous.chunks)
-                / previous.num_requests
+                / previous.completed_requests
             )
         chunk_size = adaptive_chunk_size(len(requests), workers, per_request)
     chunks = partition_requests(requests, workers, chunk_size, config.chunking)
@@ -996,7 +1273,7 @@ def run_process_batch(
     with WorkerPool(
         engine, max(1, min(workers, len(chunks))), config.start_method
     ) as pool:
-        results, chunk_stats = pool.run_chunks(requests, chunks)
+        results, chunk_stats, faults = pool.run_chunks(requests, chunks)
     report = BatchReport(
         mode="process",
         workers=workers,
@@ -1006,5 +1283,7 @@ def run_process_batch(
         elapsed_seconds=time.perf_counter() - start,
         chunks=tuple(chunk_stats),
         pool="per-batch",
+        worker_respawns=faults["worker_respawns"],
+        chunk_retries=faults["chunk_retries"],
     )
     return results, report

@@ -21,9 +21,11 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import time
 from typing import Callable, Optional, Sequence
 
 from ..core import IDCARun
+from .errors import DeadlineExceeded
 
 __all__ = ["RefinementScheduler"]
 
@@ -58,6 +60,14 @@ class RefinementScheduler:
             raise ValueError("global_iteration_budget must be non-negative")
         self.global_iteration_budget = global_iteration_budget
         self.steps_taken = 0
+        #: Optional wall-clock cut-off (``time.time()`` epoch) installed by
+        #: the executor for the duration of a deadline-carrying chunk: the
+        #: refinement loop checks it every iteration and raises
+        #: :class:`~repro.engine.errors.DeadlineExceeded` once passed, which
+        #: is what turns a would-be-hung refinement into a clean batch
+        #: failure.  ``None`` (the default, and the value every pickled
+        #: scheduler starts with) disables the check.
+        self.deadline_epoch: Optional[float] = None
 
     def __reduce__(self):
         """Pickle as configuration only — accounting never crosses processes."""
@@ -77,6 +87,14 @@ class RefinementScheduler:
         keep receiving iterations until they decide or exhaust their budget.
         ``on_finished`` is invoked each time a stepped run finishes — callers
         use it to record the order in which evaluations concluded.
+
+        With :attr:`deadline_epoch` set, every iteration first checks the
+        wall clock and raises
+        :class:`~repro.engine.errors.DeadlineExceeded` once the epoch has
+        passed (steps taken so far are still accounted).  Unlike the budget
+        cut-off — which degrades results gracefully and deterministically —
+        the deadline aborts the query: partial results under a wall-clock
+        race would not be reproducible, so none are returned.
         """
         counter = itertools.count()
         heap: list[tuple[float, int, IDCARun]] = []
@@ -88,6 +106,11 @@ class RefinementScheduler:
         while heap:
             if budget is not None and steps >= budget:
                 break
+            if self.deadline_epoch is not None and time.time() >= self.deadline_epoch:
+                self.steps_taken += steps
+                raise DeadlineExceeded(
+                    f"refinement passed its deadline after {steps} iterations"
+                )
             _, _, run = heapq.heappop(heap)
             if run.finished:
                 continue

@@ -35,12 +35,31 @@ Determinism is inherited unchanged from the executor layer: results are
 bit-identical to the serial path for every worker count, chunking and batch
 composition, and persistent worker caches only ever remove recomputation.
 
+The service is **fault-tolerant** (see the "Failure model" section of
+``docs/architecture.md``): the pool supervises its worker lanes and respawns
+a crashed worker transparently (the retried chunk re-reads everything the
+dead worker published into the shared bounds store, so recovery is
+bit-identical *and* warm); ``submit(deadline=...)`` bounds a batch's wall
+clock — expired work raises :class:`~repro.engine.errors.DeadlineExceeded`
+instead of hanging, and a watchdog terminates+respawns a truly wedged lane;
+``max_pending_batches`` / ``max_pending_requests`` bound the dispatcher
+queue, rejecting over-limit submits fast with
+:class:`~repro.engine.errors.ServiceOverloadedError` while in-flight batches
+complete; and a worker that loses (or stops trusting) the shared bounds
+store demotes itself to local memoisation, surfaced as
+``BatchReport.degraded_workers`` rather than a failed batch.
+
 Shutdown is deterministic and idempotent: :meth:`QueryService.close` (or the
 context manager, or the ``atexit`` fallback for services that are never
 closed explicitly) drains the queue, stops the dispatcher, shuts the pool
 down and releases the shared-memory export — the last release unlinks the
-block.  A request that raises inside a worker fails only its own batch; the
-pool and the service survive.
+block.  The closed-check and the enqueue in :meth:`QueryService.submit`
+happen atomically under one lock, so a submit racing :meth:`close` either
+raises :class:`~repro.engine.errors.ServiceClosedError` or returns a handle
+the dispatcher is guaranteed to resolve — batches a non-waiting close
+abandoned resolve with :class:`~repro.engine.errors.ServiceClosedError`
+instead of stranding their callers.  A request that raises inside a worker
+fails only its own batch; the pool and the service survive.
 """
 
 from __future__ import annotations
@@ -49,15 +68,23 @@ import atexit
 import queue
 import threading
 import time
-from concurrent.futures import Future
+from concurrent.futures import BrokenExecutor, CancelledError, Future
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional, Sequence, Union
 
 from ..uncertain import UncertainDatabase
 from ..uncertain.sharedmem import SharedDatabaseExport, shared_memory_available
 from .boundstore import SharedBoundStore, bound_store_available
+from .errors import (
+    DeadlineExceeded,
+    ServiceClosedError,
+    ServiceOverloadedError,
+    WorkerCrashError,
+)
 from .executor import (
     ADAPTIVE,
+    DEFAULT_MAX_CHUNK_RETRIES,
+    DEFAULT_WATCHDOG_GRACE_SECONDS,
     BatchReport,
     ExecutorConfig,
     WorkerPool,
@@ -77,6 +104,13 @@ __all__ = ["QueryService", "ServiceBatch"]
 #: Sentinel distinguishing "argument not passed" from an explicit ``None``
 #: (``chunk_size=None`` meaningfully requests one chunk per affinity bucket).
 _UNSET = object()
+
+#: Extra bound-store publish segments beyond one per lane, claimable by
+#: respawned workers.  A respawned worker that finds every segment taken
+#: still *reads* the store — it only loses the ability to publish — so a
+#: small fixed spare pool is enough to keep long-lived services writable
+#: through the occasional crash without reserving memory for worst cases.
+_RESPAWN_SEGMENT_SPARES = 4
 
 
 class ServiceBatch:
@@ -127,6 +161,10 @@ class _Job:
     lanes: Optional[list[int]] = None
     future: Future = field(default_factory=Future)
     enqueued_at: float = 0.0
+    #: Absolute ``time.time()`` epoch the batch must finish by (``None`` =
+    #: no deadline).  Epoch-based so the same number is comparable in the
+    #: dispatcher, the parent-side watchdog and the worker processes.
+    deadline_epoch: Optional[float] = None
 
 
 #: Exponential-moving-average weight of the newest batch's per-request cost
@@ -160,6 +198,21 @@ class QueryService:
         Register an :mod:`atexit` fallback so a service never explicitly
         closed still shuts its pool down and unlinks its shared-memory
         block at interpreter exit.  :meth:`close` unregisters it.
+    max_pending_batches / max_pending_requests:
+        Admission-control bounds on work that has been submitted but not
+        yet finished (queued *and* in-flight).  A submit that would exceed
+        either bound raises
+        :class:`~repro.engine.errors.ServiceOverloadedError` immediately —
+        backpressure instead of an unbounded queue.  ``None`` (default)
+        leaves that bound off.
+    max_chunk_retries:
+        How many times a chunk whose worker crashed is re-driven on the
+        respawned lane before the batch fails with
+        :class:`~repro.engine.errors.WorkerCrashError` (default 3).
+    watchdog_grace:
+        Seconds past a batch's deadline before the wall-clock watchdog
+        SIGKILLs and respawns lanes still holding its chunks (default 2.0).
+        Only armed for batches submitted with a deadline.
 
     Example
     -------
@@ -180,9 +233,19 @@ class QueryService:
         *,
         share_memory: Optional[bool] = None,
         atexit_cleanup: bool = True,
+        max_pending_batches: Optional[int] = None,
+        max_pending_requests: Optional[int] = None,
+        max_chunk_retries: int = DEFAULT_MAX_CHUNK_RETRIES,
+        watchdog_grace: float = DEFAULT_WATCHDOG_GRACE_SECONDS,
     ):
         from .engine import QueryEngine
 
+        for name, bound in (
+            ("max_pending_batches", max_pending_batches),
+            ("max_pending_requests", max_pending_requests),
+        ):
+            if bound is not None and (not isinstance(bound, int) or bound < 1):
+                raise ValueError(f"{name} must be a positive integer or None")
         if isinstance(engine, UncertainDatabase):
             engine = QueryEngine(engine)
         self.engine = engine
@@ -213,10 +276,12 @@ class QueryService:
             )
         if use_bounds:
             try:
-                # exactly one publish segment per worker lane: lanes never
-                # respawn a crashed worker, so spares could never be claimed
+                # one publish segment per worker lane plus a few spares for
+                # respawned workers: supervision replaces a crashed worker
+                # with a fresh process, which claims the next free segment
+                # so it can keep publishing (read access never needs one)
                 self._bound_store = SharedBoundStore(
-                    num_segments=min(255, workers),
+                    num_segments=min(255, workers + _RESPAWN_SEGMENT_SPARES),
                     mp_context=_pool_context(self.config.start_method),
                 )
             except OSError:  # pragma: no cover - e.g. /dev/shm exhausted
@@ -233,6 +298,8 @@ class QueryService:
                 workers,
                 self.config.start_method,
                 bound_store=self._bound_store,
+                max_chunk_retries=max_chunk_retries,
+                watchdog_grace=watchdog_grace,
             )
         except BaseException:
             if self._bound_store is not None:
@@ -247,6 +314,14 @@ class QueryService:
         self._jobs: "queue.SimpleQueue[Optional[_Job]]" = queue.SimpleQueue()
         self._submit_lock = threading.Lock()
         self._closed = False
+        self._abandoned = False
+        self._max_pending_batches = max_pending_batches
+        self._max_pending_requests = max_pending_requests
+        # admission counters: submitted-but-unfinished work, maintained
+        # under _submit_lock (incremented by submit, decremented by the
+        # dispatcher when a job's future resolves)
+        self._pending_batches = 0
+        self._pending_requests = 0
         self._seen_pids: set[int] = set()
         self._dispatcher = threading.Thread(
             target=self._dispatch_loop, name="repro-query-service", daemon=True
@@ -312,12 +387,28 @@ class QueryService:
     def worker_pids(self) -> tuple[int, ...]:
         """Distinct worker pids observed across all completed batches.
 
-        Bounded by :attr:`workers` for the service's whole lifetime — the
-        observable guarantee that one pool serves every batch.
+        Bounded by :attr:`workers` plus :attr:`worker_respawns` for the
+        service's whole lifetime — one pool serves every batch, and only
+        supervision replacing a crashed worker ever adds a pid.
         """
         # the dispatcher rebinds _seen_pids atomically instead of mutating
         # it, so this snapshot can never observe a set mid-update
         return tuple(sorted(self._seen_pids))
+
+    @property
+    def worker_respawns(self) -> int:
+        """Crashed worker lanes the pool has respawned over its lifetime."""
+        return self._pool.respawns
+
+    @property
+    def pending_batches(self) -> int:
+        """Batches submitted but not yet finished (queued + in flight)."""
+        return self._pending_batches
+
+    @property
+    def pending_requests(self) -> int:
+        """Requests submitted but not yet finished (queued + in flight)."""
+        return self._pending_requests
 
     @property
     def payload_nbytes(self) -> int:
@@ -335,7 +426,7 @@ class QueryService:
         so a single report characterises the pool.
         """
         if self._closed:
-            raise RuntimeError("the service is closed")
+            raise ServiceClosedError("the service is closed")
         return self._pool.probe()
 
     # ------------------------------------------------------------------ #
@@ -346,6 +437,7 @@ class QueryService:
         requests: Sequence["QueryRequest"],
         chunk_size=_UNSET,
         chunking: Optional[str] = None,
+        deadline: Optional[float] = None,
     ) -> ServiceBatch:
         """Enqueue a batch and return a :class:`ServiceBatch` immediately.
 
@@ -361,12 +453,27 @@ class QueryService:
         chunks are additionally *pinned*: each affinity bucket's lane is a
         stable hash of its key (:func:`~repro.engine.executor.affine_partition`),
         so a recurring query object lands on the worker whose caches served
-        it last batch.  Raises ``RuntimeError`` once the service is closed.
+        it last batch.
+
+        ``deadline`` (seconds from now, positive) bounds the batch's wall
+        clock, queue wait included: work past the deadline fails with
+        :class:`~repro.engine.errors.DeadlineExceeded` — checked in the
+        dispatcher before the batch starts, between requests and every
+        refinement iteration inside the workers, and by a hard watchdog
+        that SIGKILLs+respawns a lane wedged past deadline + grace.
+
+        Raises :class:`~repro.engine.errors.ServiceClosedError` once the
+        service is closed, and
+        :class:`~repro.engine.errors.ServiceOverloadedError` when admission
+        control would be exceeded (the batch is not enqueued; in-flight
+        work is unaffected).
         """
         requests = list(requests)
         size = self.config.chunk_size if chunk_size is _UNSET else chunk_size
         if chunk_size is not _UNSET:
             validate_chunk_size(size)
+        if deadline is not None and not deadline > 0:
+            raise ValueError(f"deadline must be positive seconds, got {deadline!r}")
         strategy = chunking if chunking is not None else self.config.chunking
         if size == ADAPTIVE:
             # splitting a lane-pinned bucket cannot rebalance work (the
@@ -391,8 +498,29 @@ class QueryService:
         )
         with self._submit_lock:
             if self._closed:
-                raise RuntimeError("cannot submit to a closed QueryService")
+                raise ServiceClosedError("cannot submit to a closed QueryService")
+            if (
+                self._max_pending_batches is not None
+                and self._pending_batches >= self._max_pending_batches
+            ):
+                raise ServiceOverloadedError(
+                    f"service at max_pending_batches={self._max_pending_batches}"
+                )
+            if (
+                self._max_pending_requests is not None
+                and self._pending_requests + len(requests)
+                > self._max_pending_requests
+            ):
+                raise ServiceOverloadedError(
+                    f"{len(requests)} requests would exceed "
+                    f"max_pending_requests={self._max_pending_requests} "
+                    f"({self._pending_requests} already pending)"
+                )
+            self._pending_batches += 1
+            self._pending_requests += len(requests)
             job.enqueued_at = time.perf_counter()
+            if deadline is not None:
+                job.deadline_epoch = time.time() + deadline
             self._jobs.put(job)
         return ServiceBatch(job.future)
 
@@ -402,6 +530,7 @@ class QueryService:
         chunk_size=_UNSET,
         chunking: Optional[str] = None,
         timeout: Optional[float] = None,
+        deadline: Optional[float] = None,
     ) -> list:
         """Evaluate a batch through the request queue, blocking until done.
 
@@ -409,51 +538,101 @@ class QueryService:
         request order, bit-identical to the serial path — but dispatched
         onto the service's persistent pool.  The merged report lands on
         :attr:`last_batch_report` and on the engine's
-        ``last_batch_report`` (with ``pool="persistent"``).
+        ``last_batch_report`` (with ``pool="persistent"``).  ``deadline``
+        is forwarded to :meth:`submit`; ``timeout`` only bounds this call's
+        blocking wait (the batch keeps running server-side when it fires).
         """
-        handle = self.submit(requests, chunk_size=chunk_size, chunking=chunking)
+        handle = self.submit(
+            requests, chunk_size=chunk_size, chunking=chunking, deadline=deadline
+        )
         return handle.result(timeout)
 
     # ------------------------------------------------------------------ #
     # dispatcher (single background thread)
     # ------------------------------------------------------------------ #
+    def _job_finished(self, job: _Job) -> None:
+        """Release a job's admission-control reservation (future resolved)."""
+        with self._submit_lock:
+            self._pending_batches -= 1
+            self._pending_requests -= len(job.requests)
+
     def _dispatch_loop(self) -> None:
         while True:
             job = self._jobs.get()
             if job is None:
                 break
-            if not job.future.set_running_or_notify_cancel():
-                continue  # cancelled before it started
             try:
-                results, chunk_stats = self._pool.run_chunks(
-                    job.requests, job.chunks, lanes=job.lanes
-                )
-            except BaseException as error:
-                job.future.set_exception(error)
-                continue
-            if job.requests:
-                per_request = sum(s.seconds for s in chunk_stats) / len(job.requests)
-                if self._cost_ewma is None:
-                    self._cost_ewma = per_request
-                else:
-                    self._cost_ewma = (
-                        _COST_EWMA_ALPHA * per_request
-                        + (1.0 - _COST_EWMA_ALPHA) * self._cost_ewma
+                if not job.future.set_running_or_notify_cancel():
+                    continue  # cancelled before it started
+                if self._abandoned:
+                    job.future.set_exception(
+                        ServiceClosedError(
+                            "the service closed before this batch ran"
+                        )
                     )
-            report = BatchReport(
-                mode="process",
-                workers=self._pool.workers,
-                chunking=job.chunking,
-                chunk_size=job.chunk_size,
-                num_requests=len(job.requests),
-                elapsed_seconds=time.perf_counter() - job.enqueued_at,
-                chunks=tuple(chunk_stats),
-                pool="persistent",
-            )
-            self._seen_pids = self._seen_pids | set(report.worker_pids)
-            self.last_batch_report = report
-            self.engine.last_batch_report = report
-            job.future.set_result((results, report))
+                    continue
+                if (
+                    job.deadline_epoch is not None
+                    and time.time() >= job.deadline_epoch
+                ):
+                    job.future.set_exception(
+                        DeadlineExceeded("batch deadline expired while queued")
+                    )
+                    continue
+                try:
+                    results, chunk_stats, faults = self._pool.run_chunks(
+                        job.requests,
+                        job.chunks,
+                        lanes=job.lanes,
+                        deadline_epoch=job.deadline_epoch,
+                    )
+                except BaseException as error:
+                    if self._abandoned and isinstance(
+                        error, (BrokenExecutor, CancelledError, WorkerCrashError)
+                    ):
+                        # close(wait=False) tore the pool down underneath
+                        # this batch; the executor-level failure is an
+                        # artefact of that teardown, not a real crash —
+                        # surface the close instead
+                        job.future.set_exception(
+                            ServiceClosedError(
+                                "the service closed while this batch was running"
+                            )
+                        )
+                    else:
+                        job.future.set_exception(error)
+                    continue
+                completed = sum(s.size for s in chunk_stats)
+                if completed > 0:
+                    # divide by the work that ran: a report with zero
+                    # completed requests carries no cost signal and must
+                    # not poison (or zero-divide) the EWMA
+                    per_request = sum(s.seconds for s in chunk_stats) / completed
+                    if self._cost_ewma is None:
+                        self._cost_ewma = per_request
+                    else:
+                        self._cost_ewma = (
+                            _COST_EWMA_ALPHA * per_request
+                            + (1.0 - _COST_EWMA_ALPHA) * self._cost_ewma
+                        )
+                report = BatchReport(
+                    mode="process",
+                    workers=self._pool.workers,
+                    chunking=job.chunking,
+                    chunk_size=job.chunk_size,
+                    num_requests=len(job.requests),
+                    elapsed_seconds=time.perf_counter() - job.enqueued_at,
+                    chunks=tuple(chunk_stats),
+                    pool="persistent",
+                    worker_respawns=faults["worker_respawns"],
+                    chunk_retries=faults["chunk_retries"],
+                )
+                self._seen_pids = self._seen_pids | set(report.worker_pids)
+                self.last_batch_report = report
+                self.engine.last_batch_report = report
+                job.future.set_result((results, report))
+            finally:
+                self._job_finished(job)
 
     # ------------------------------------------------------------------ #
     # shutdown
@@ -465,14 +644,23 @@ class QueryService:
         complete and their handles resolve — then stops the dispatcher,
         shuts the pool down (no worker processes remain) and releases the
         shared-memory export, whose last release unlinks the block.
-        ``wait=False`` abandons pending work: unstarted chunks are
-        cancelled and outstanding handles resolve with an error.
-        Subsequent :meth:`submit` calls raise ``RuntimeError``.
+        ``wait=False`` abandons pending work: queued batches resolve with
+        :class:`~repro.engine.errors.ServiceClosedError`, unstarted chunks
+        are cancelled, and the in-flight batch (if any) resolves with its
+        results when it beats the teardown, otherwise with
+        :class:`~repro.engine.errors.ServiceClosedError` — no handle is
+        ever left unresolved.  Subsequent :meth:`submit` calls raise
+        :class:`~repro.engine.errors.ServiceClosedError` (a subclass of
+        ``RuntimeError``).
         """
         with self._submit_lock:
             if self._closed:
                 return
             self._closed = True
+            if not wait:
+                # the dispatcher fails queued jobs fast instead of running
+                # them against a pool that is being torn down underneath it
+                self._abandoned = True
             self._jobs.put(None)  # under the lock: nothing enqueues after it
         if wait:
             self._dispatcher.join()

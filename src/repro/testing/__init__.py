@@ -1,0 +1,12 @@
+"""Testing utilities shipped with the library (not imported by runtime code).
+
+Currently one member: :mod:`repro.testing.faults`, the fault-injection
+harness behind ``tests/test_faults.py`` and ``benchmarks/bench_faults.py``.
+Nothing in here is imported by the engine at runtime — the executor only
+reaches into this package when the ``REPRO_FAULT_PLAN`` environment
+variable is set, i.e. inside a chaos test.
+"""
+
+from . import faults
+
+__all__ = ["faults"]

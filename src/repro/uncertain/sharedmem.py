@@ -75,6 +75,7 @@ __all__ = [
     "attach_shared_database",
     "database_transport",
     "shared_memory_available",
+    "unlink_block",
 ]
 
 #: Arrays below this many bytes stay in the shell pickle: a descriptor plus
@@ -348,6 +349,31 @@ def _attach_block(name: str):
             except Exception:  # pragma: no cover - tracker already gone
                 pass
         return shm
+
+
+def unlink_block(name: str) -> bool:
+    """Force-unlink a named shared-memory block; returns whether it existed.
+
+    Simulates losing the segment out from under its consumers (host
+    cleanup scripts, ``/dev/shm`` pressure, a crashed owner's tracker):
+    existing mappings stay valid — POSIX keeps an unlinked segment alive
+    while mapped — but any process attaching *after* the unlink gets
+    ``FileNotFoundError`` and must take its degradation path.  Used by the
+    fault-injection harness (``repro/testing/faults.py``); the owner's own
+    later cleanup tolerates the missing name.
+    """
+    if _shared_memory is None:  # pragma: no cover - platforms without shm
+        return False
+    try:
+        shm = _attach_block(name)
+    except FileNotFoundError:
+        return False
+    try:
+        shm.unlink()
+    except FileNotFoundError:  # pragma: no cover - raced another unlink
+        pass
+    shm.close()
+    return True
 
 
 # One attachment per block and process: every engine/context unpickled in a
