@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Rerun-on-flake wrapper for the timing-sensitive chaos suite.
+#
+# Runs the given pytest command once; on failure, reruns only the failed
+# tests (pytest --last-failed).  A rerun that passes means the first
+# failure was a flake: the job stays green but the failure is recorded in
+# a flake report (uploaded as a CI artifact) so recurring flakes stay
+# visible.  A rerun that fails is a genuine regression and fails the job.
+#
+# Usage: rerun_on_flake.sh [env VAR=...] python -m pytest <args>
+# The report prefix comes from FLAKE_REPORT_PREFIX (default "flake").
+set -u
+prefix="${FLAKE_REPORT_PREFIX:-flake}"
+
+"$@" 2>&1 | tee "${prefix}-first.log"
+status=${PIPESTATUS[0]}
+if [ "$status" -eq 0 ]; then
+    echo "clean first pass" > "${prefix}-report.txt"
+    exit 0
+fi
+
+echo "first pass failed (exit $status) - rerunning the failed tests" \
+    | tee "${prefix}-report.txt"
+"$@" --last-failed 2>&1 | tee "${prefix}-rerun.log"
+rerun=${PIPESTATUS[0]}
+if [ "$rerun" -eq 0 ]; then
+    {
+        echo "FLAKY: first-pass failures did not reproduce on rerun"
+        grep -E "^(FAILED|ERROR)" "${prefix}-first.log" || true
+    } >> "${prefix}-report.txt"
+    exit 0
+fi
+{
+    echo "GENUINE: failures reproduced on rerun"
+    grep -E "^(FAILED|ERROR)" "${prefix}-rerun.log" || true
+} >> "${prefix}-report.txt"
+exit "$rerun"

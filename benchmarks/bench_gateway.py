@@ -1,0 +1,252 @@
+"""Gateway throughput, tail latency, and coalescing — measured end to end.
+
+PR 8 puts an asyncio HTTP tier (``repro.gateway``) in front of the
+:class:`~repro.engine.QueryService`.  The network tier must not cost the
+engine its headline property — bit-identical results at every worker
+count — and it should convert concurrency into throughput rather than
+queueing.  This benchmark drives a live gateway over a real socket with
+the ``repro.testing.load`` closed-loop generator, in three phases:
+
+* **determinism** — a fixed five-kind query set is fetched over HTTP at
+  ``workers=1/2/4`` and compared byte-for-byte against the serial
+  in-process engine (the gate is unconditional: it holds on any machine);
+* **ramp** — a closed-loop concurrency ramp (1..8 clients) over a
+  distinct-query stream records throughput and p50/p95/p99 latency per
+  step; the "more clients -> more throughput" gate applies only on
+  machines with at least :data:`MIN_CPUS_FOR_GATE` CPUs, where the ramp
+  is not serialized by the host itself;
+* **coalesce** — a duplicate-heavy closed-loop stream (two distinct
+  documents, eight clients) measures how many requests were answered from
+  a shared in-flight batch (``coalesce_hits`` from ``GET /metrics``).
+
+Measured numbers go to ``BENCH_gateway.json`` (override with the
+``BENCH_GATEWAY_JSON`` environment variable).
+
+Run standalone::
+
+    PYTHONPATH=src python benchmarks/bench_gateway.py
+
+or through the benchmark suite::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_gateway.py -q -s
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+
+from repro.core.kernels import kernel_environment
+from repro.datasets import uniform_rectangle_database
+from repro.engine import ExecutorConfig, QueryEngine, QueryService
+from repro.gateway import GatewayServer, canonical_json, decode_query, encode_result
+from repro.testing.load import run_closed_loop, run_ramp
+
+NUM_OBJECTS = 60
+SEED = 11
+WORKER_COUNTS = (1, 2, 4)
+RAMP_CONCURRENCIES = (1, 2, 4, 8)
+RAMP_REQUESTS_PER_STEP = 40
+COALESCE_CONCURRENCY = 8
+COALESCE_REQUESTS = 120
+MIN_CPUS_FOR_GATE = 4
+
+#: The determinism query set: one document per supported query kind.
+QUERY_DOCS = [
+    {"type": "knn", "query": 0, "k": 3, "tau": 0.5, "max_iterations": 4},
+    {"type": "rknn", "query": 1, "k": 2, "tau": 0.5, "max_iterations": 3,
+     "candidate_indices": list(range(12))},
+    {"type": "range", "query": 2, "epsilon": 0.3, "tau": 0.5, "max_depth": 3},
+    {"type": "ranking", "query": 3, "max_iterations": 2,
+     "candidate_indices": list(range(10))},
+    {"type": "inverse_ranking", "target": 4, "reference": 5,
+     "max_iterations": 3},
+]
+
+
+def _serial_payloads(database) -> list[bytes]:
+    """The reference bytes: serial engine results, gateway-encoded."""
+    engine = QueryEngine(database)
+    requests = [decode_query(doc, database) for doc in QUERY_DOCS]
+    return [
+        canonical_json(encode_result(result))
+        for result in engine.evaluate_many(requests)
+    ]
+
+
+def _fetch_payloads(host: str, port: int) -> list[bytes]:
+    """Fetch every determinism document over one keep-alive connection."""
+    connection = http.client.HTTPConnection(host, port, timeout=60)
+    payloads = []
+    try:
+        for doc in QUERY_DOCS:
+            body = json.dumps(doc).encode()
+            connection.request(
+                "POST", "/v1/query", body=body,
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            raw = response.read()
+            assert response.status == 200, (response.status, raw)
+            # strip the {"result": ...} envelope back to the payload bytes
+            payloads.append(raw[len(b'{"result":'):-1])
+    finally:
+        connection.close()
+    return payloads
+
+
+def _distinct_factory(index: int):
+    """Ramp stream: cycles distinct kNN queries (no coalescing on purpose)."""
+    return "/v1/query", {
+        "type": "knn", "query": index % 16, "k": 3, "tau": 0.5,
+        "max_iterations": 3,
+    }
+
+
+def _duplicate_factory(index: int):
+    """Coalesce stream: only two distinct documents across all clients."""
+    return "/v1/query", {
+        "type": "knn", "query": index % 2, "k": 3, "tau": 0.5,
+        "max_iterations": 4,
+    }
+
+
+def run_benchmark() -> dict:
+    database = uniform_rectangle_database(
+        num_objects=NUM_OBJECTS, max_extent=0.05, seed=SEED
+    )
+    serial = _serial_payloads(database)
+
+    # -- determinism: HTTP payloads vs serial, at every worker count ----- #
+    determinism = {}
+    identical = True
+    for workers in WORKER_COUNTS:
+        with QueryService(database, ExecutorConfig(workers=workers)) as service:
+            with GatewayServer(service) as server:
+                host, port = server.address
+                got = _fetch_payloads(host, port)
+                # duplicate round on the same server: byte-stable replies
+                again = _fetch_payloads(host, port)
+        matches = got == serial and again == serial
+        identical &= matches
+        determinism[f"workers_{workers}"] = matches
+
+    # -- ramp: throughput and tail latency vs offered concurrency ------- #
+    with QueryService(database, ExecutorConfig(workers=2)) as service:
+        with GatewayServer(service) as server:
+            host, port = server.address
+            ramp_reports = run_ramp(
+                host, port, _distinct_factory,
+                concurrencies=RAMP_CONCURRENCIES,
+                requests_per_step=RAMP_REQUESTS_PER_STEP,
+                timeout=60.0,
+            )
+            ramp_ok = all(
+                report.transport_errors == 0
+                and report.status_counts.get(200, 0) == report.completed
+                for report in ramp_reports
+            )
+
+    # -- coalesce: duplicate-heavy stream, shared in-flight batches ------ #
+    with QueryService(database, ExecutorConfig(workers=2)) as service:
+        with GatewayServer(service) as server:
+            host, port = server.address
+            coalesce_report = run_closed_loop(
+                host, port, _duplicate_factory,
+                concurrency=COALESCE_CONCURRENCY,
+                total_requests=COALESCE_REQUESTS,
+                timeout=60.0,
+            )
+            metrics = server.metrics()
+    coalesce_hits = metrics["coalesce_hits"]
+    coalesce_rate = coalesce_hits / max(metrics["requests_total"], 1)
+
+    throughputs = [report.throughput_rps for report in ramp_reports]
+    return {
+        "environment": kernel_environment(),
+        "cpu_count": os.cpu_count(),
+        "workload": {
+            "num_objects": NUM_OBJECTS,
+            "seed": SEED,
+            "worker_counts": list(WORKER_COUNTS),
+            "ramp_concurrencies": list(RAMP_CONCURRENCIES),
+            "ramp_requests_per_step": RAMP_REQUESTS_PER_STEP,
+            "coalesce_concurrency": COALESCE_CONCURRENCY,
+            "coalesce_requests": COALESCE_REQUESTS,
+            "query_kinds": [doc["type"] for doc in QUERY_DOCS],
+        },
+        "determinism": {
+            **determinism,
+            "identical_to_serial": identical,
+        },
+        "ramp": [report.as_dict() for report in ramp_reports],
+        "ramp_clean": ramp_ok,
+        "peak_throughput_rps": max(throughputs),
+        "throughput_gain_over_single_client": (
+            max(throughputs) / max(throughputs[0], 1e-12)
+        ),
+        "coalesce": {
+            "report": coalesce_report.as_dict(),
+            "hits": coalesce_hits,
+            "hit_rate": coalesce_rate,
+            "engine_batches": metrics["engine"]["batches_total"],
+        },
+        "min_cpus_for_gate": MIN_CPUS_FOR_GATE,
+        "note": (
+            "determinism (HTTP payloads byte-identical to the serial engine "
+            "at workers=1/2/4) gates unconditionally; the concurrency-to-"
+            "throughput gate applies only on >= 4-CPU machines"
+        ),
+    }
+
+
+def _write_report(report: dict) -> str:
+    path = os.environ.get("BENCH_GATEWAY_JSON", "BENCH_gateway.json")
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=1)
+        handle.write("\n")
+    return path
+
+
+def test_gateway_deterministic_and_scales():
+    report = run_benchmark()
+    path = _write_report(report)
+    print()
+    print(f"cpus {report['cpu_count']}")
+    for step in report["ramp"]:
+        latency = step["latency"]
+        print(
+            f"concurrency {step['concurrency']:2d}  "
+            f"{step['throughput_rps']:7.1f} rps  "
+            f"p50 {latency['p50_seconds'] * 1e3:6.1f} ms  "
+            f"p99 {latency['p99_seconds'] * 1e3:6.1f} ms"
+        )
+    print(
+        f"coalesce hit rate {report['coalesce']['hit_rate']:.2f}  "
+        f"({report['coalesce']['hits']} hits)  -> {path}"
+    )
+    # determinism is unconditional: the network tier must not cost the
+    # engine its bit-identical-at-any-worker-count property
+    assert report["determinism"]["identical_to_serial"], report["determinism"]
+    assert report["ramp_clean"]
+    # throughput gates only where the host has headroom to show them
+    if (report["cpu_count"] or 1) >= MIN_CPUS_FOR_GATE:
+        assert report["throughput_gain_over_single_client"] > 1.0, (
+            "adding closed-loop clients did not raise gateway throughput"
+        )
+        assert report["coalesce"]["hits"] >= 1, (
+            "duplicate-heavy stream produced no coalesced responses"
+        )
+    else:
+        print(
+            f"only {report['cpu_count']} CPU(s) - skipping throughput and "
+            "coalesce gates (recorded for information)"
+        )
+
+
+if __name__ == "__main__":
+    result = run_benchmark()
+    path = _write_report(result)
+    print(json.dumps(result, indent=1))
+    print(f"wrote {path}")

@@ -113,7 +113,7 @@ from .engine import (
     ServiceBatch,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     # core

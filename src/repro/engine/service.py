@@ -65,6 +65,7 @@ fails only its own batch; the pool and the service survive.
 from __future__ import annotations
 
 import atexit
+import math
 import queue
 import threading
 import time
@@ -148,6 +149,20 @@ class ServiceBatch:
     def exception(self, timeout: Optional[float] = None) -> Optional[BaseException]:
         """The batch's failure, or ``None`` once it completed successfully."""
         return self._future.exception(timeout)
+
+    def add_done_callback(self, callback) -> None:
+        """Schedule ``callback(self)`` for when the batch resolves.
+
+        Invoked immediately when the batch already resolved, otherwise from
+        the thread that resolves it (the service dispatcher) — callers that
+        need to re-enter an event loop must marshal themselves (e.g. via
+        ``loop.call_soon_threadsafe``), which is exactly how the HTTP
+        gateway (``repro/gateway/``) bridges a batch into asyncio without
+        blocking a loop thread on :meth:`result`.  Callback exceptions are
+        swallowed and logged by :mod:`concurrent.futures`, matching
+        ``Future.add_done_callback`` semantics.
+        """
+        self._future.add_done_callback(lambda _future: callback(self))
 
 
 @dataclass
@@ -419,6 +434,23 @@ class QueryService:
         """
         return self._pool.payload_nbytes
 
+    def warm(self) -> None:
+        """Force every worker lane's process to exist *now*.
+
+        Pool lanes spawn their worker process on first use; under the
+        ``fork`` start method a late spawn copies every file descriptor
+        the parent holds at that moment — including client sockets a
+        network tier accepted before the first batch, which then keeps
+        those connections alive in the kernel long after the client's
+        close.  Front-ends (the HTTP gateway) call this before accepting
+        traffic so every fork happens while the parent holds no
+        connection fds.  Idempotent; costs one probe round-trip per lane.
+        """
+        if self._closed:
+            raise ServiceClosedError("the service is closed")
+        for lane in range(self.workers):
+            self._pool.probe(lane)
+
     def probe_workers(self) -> dict:
         """One worker's self-report: pid, dataset transport, block name.
 
@@ -438,6 +470,7 @@ class QueryService:
         chunk_size=_UNSET,
         chunking: Optional[str] = None,
         deadline: Optional[float] = None,
+        deadline_epoch: Optional[float] = None,
     ) -> ServiceBatch:
         """Enqueue a batch and return a :class:`ServiceBatch` immediately.
 
@@ -455,12 +488,21 @@ class QueryService:
         so a recurring query object lands on the worker whose caches served
         it last batch.
 
-        ``deadline`` (seconds from now, positive) bounds the batch's wall
-        clock, queue wait included: work past the deadline fails with
-        :class:`~repro.engine.errors.DeadlineExceeded` — checked in the
-        dispatcher before the batch starts, between requests and every
-        refinement iteration inside the workers, and by a hard watchdog
-        that SIGKILLs+respawns a lane wedged past deadline + grace.
+        ``deadline`` (seconds from now, positive and finite) bounds the
+        batch's wall clock, queue wait included: work past the deadline
+        fails with :class:`~repro.engine.errors.DeadlineExceeded` — checked
+        in the dispatcher before the batch starts, between requests and
+        every refinement iteration inside the workers, and by a hard
+        watchdog that SIGKILLs+respawns a lane wedged past deadline +
+        grace.  ``deadline_epoch`` is the absolute form (a ``time.time()``
+        epoch, mutually exclusive with ``deadline``) for callers that fix
+        the budget when a request *arrives* rather than when it is
+        submitted — e.g. the HTTP gateway converting a client
+        ``timeout_ms``.  Both are validated eagerly: a non-positive or
+        non-finite ``deadline``, or a ``deadline_epoch`` that already lies
+        in the past, raises ``ValueError`` here instead of enqueueing a
+        batch that could only ever resolve
+        :class:`~repro.engine.errors.DeadlineExceeded`.
 
         Raises :class:`~repro.engine.errors.ServiceClosedError` once the
         service is closed, and
@@ -472,8 +514,29 @@ class QueryService:
         size = self.config.chunk_size if chunk_size is _UNSET else chunk_size
         if chunk_size is not _UNSET:
             validate_chunk_size(size)
-        if deadline is not None and not deadline > 0:
-            raise ValueError(f"deadline must be positive seconds, got {deadline!r}")
+        if deadline is not None and deadline_epoch is not None:
+            raise ValueError("pass either deadline or deadline_epoch, not both")
+        if deadline is not None and not (
+            math.isfinite(deadline) and deadline > 0
+        ):
+            raise ValueError(
+                f"deadline must be positive finite seconds, got {deadline!r}"
+            )
+        if deadline_epoch is not None:
+            if not (
+                isinstance(deadline_epoch, (int, float))
+                and math.isfinite(deadline_epoch)
+            ):
+                raise ValueError(
+                    f"deadline_epoch must be a finite epoch, got {deadline_epoch!r}"
+                )
+            # eager expiry check: an already-expired deadline could only ever
+            # resolve DeadlineExceeded — fail the caller now, before the
+            # batch occupies queue capacity
+            if deadline_epoch <= time.time():
+                raise ValueError(
+                    f"deadline_epoch {deadline_epoch!r} already expired"
+                )
         strategy = chunking if chunking is not None else self.config.chunking
         if size == ADAPTIVE:
             # splitting a lane-pinned bucket cannot rebalance work (the
@@ -521,6 +584,8 @@ class QueryService:
             job.enqueued_at = time.perf_counter()
             if deadline is not None:
                 job.deadline_epoch = time.time() + deadline
+            elif deadline_epoch is not None:
+                job.deadline_epoch = float(deadline_epoch)
             self._jobs.put(job)
         return ServiceBatch(job.future)
 
@@ -531,6 +596,7 @@ class QueryService:
         chunking: Optional[str] = None,
         timeout: Optional[float] = None,
         deadline: Optional[float] = None,
+        deadline_epoch: Optional[float] = None,
     ) -> list:
         """Evaluate a batch through the request queue, blocking until done.
 
@@ -538,12 +604,17 @@ class QueryService:
         request order, bit-identical to the serial path — but dispatched
         onto the service's persistent pool.  The merged report lands on
         :attr:`last_batch_report` and on the engine's
-        ``last_batch_report`` (with ``pool="persistent"``).  ``deadline``
-        is forwarded to :meth:`submit`; ``timeout`` only bounds this call's
-        blocking wait (the batch keeps running server-side when it fires).
+        ``last_batch_report`` (with ``pool="persistent"``).  ``deadline`` /
+        ``deadline_epoch`` are forwarded to :meth:`submit`; ``timeout``
+        only bounds this call's blocking wait (the batch keeps running
+        server-side when it fires).
         """
         handle = self.submit(
-            requests, chunk_size=chunk_size, chunking=chunking, deadline=deadline
+            requests,
+            chunk_size=chunk_size,
+            chunking=chunking,
+            deadline=deadline,
+            deadline_epoch=deadline_epoch,
         )
         return handle.result(timeout)
 

@@ -1,0 +1,198 @@
+"""Minimal HTTP/1.1 framing over asyncio streams (stdlib only).
+
+The gateway deliberately does not depend on an HTTP framework: the service
+north star is "no new runtime dependencies", and the subset of HTTP/1.1 the
+gateway speaks is small enough to implement directly — request-line +
+headers + ``Content-Length`` bodies in, fixed-length responses out, with
+keep-alive connection reuse.  What is *not* implemented is rejected
+explicitly rather than mis-parsed: chunked transfer encoding, multiline
+(obs-fold) headers and over-limit headers/bodies all raise
+:class:`ProtocolError` carrying the right status code, which the server
+turns into a well-formed error response before closing the connection.
+
+The module is transport-only.  It knows nothing about routes, JSON or the
+query service — that separation keeps it reusable by the load generator's
+client (``repro/testing/load.py``), which implements the mirror image
+(requests out, responses in) over the same framing rules.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+__all__ = [
+    "HttpRequest",
+    "ProtocolError",
+    "REASON_PHRASES",
+    "encode_response",
+    "read_request",
+]
+
+#: Reason phrases for every status the gateway emits.
+REASON_PHRASES = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+#: Default cap on the request head (request line + headers).
+DEFAULT_MAX_HEADER_BYTES = 16 * 1024
+
+#: Default cap on request bodies (a batch of a few thousand queries fits).
+DEFAULT_MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+class ProtocolError(ValueError):
+    """Bytes on the wire that do not parse as the supported HTTP subset.
+
+    ``status`` is the HTTP status the server should answer with before
+    closing the connection (400 for malformed framing, 413/431 for
+    over-limit bodies/headers, 405 for unsupported methods on a route).
+    """
+
+    def __init__(self, message: str, status: int = 400):
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request: line, lower-cased headers, raw body bytes."""
+
+    method: str
+    target: str
+    path: str
+    version: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        """Whether the connection should stay open after the response.
+
+        HTTP/1.1 defaults to keep-alive unless ``Connection: close``;
+        HTTP/1.0 requires an explicit ``Connection: keep-alive``.
+        """
+        connection = self.headers.get("connection", "").lower()
+        if self.version == "HTTP/1.0":
+            return "keep-alive" in connection
+        return "close" not in connection
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+    *,
+    max_header_bytes: int = DEFAULT_MAX_HEADER_BYTES,
+    max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+) -> Optional[HttpRequest]:
+    """Read one request off ``reader``; ``None`` on clean EOF between requests.
+
+    A connection closed *mid*-request, over-limit heads/bodies and framing
+    the parser does not support raise :class:`ProtocolError` with the
+    status the caller should respond with.
+    """
+    head = bytearray()
+    blank_prefix = 0
+    while True:
+        try:
+            line = await reader.readuntil(b"\n")
+        except asyncio.IncompleteReadError as error:
+            if not error.partial and not head:
+                return None  # clean EOF between requests
+            raise ProtocolError("connection closed mid-request") from error
+        except asyncio.LimitOverrunError as error:
+            raise ProtocolError("header line too long", status=431) from error
+        head += line
+        if len(head) > max_header_bytes:
+            raise ProtocolError("request head too large", status=431)
+        if line in (b"\r\n", b"\n"):
+            if head == line and blank_prefix < 4:
+                blank_prefix += 1
+                head.clear()  # tolerate leading blank lines (RFC 9112 §2.2)
+                continue
+            break
+    lines = head.decode("latin-1").split("\r\n")
+    if len(lines) == 1:  # tolerate bare-\n framing
+        lines = head.decode("latin-1").split("\n")
+    request_line = lines[0].strip()
+    parts = request_line.split(" ")
+    if len(parts) != 3:
+        raise ProtocolError(f"malformed request line: {request_line!r}")
+    method, target, version = parts
+    if version not in ("HTTP/1.1", "HTTP/1.0"):
+        raise ProtocolError(f"unsupported HTTP version: {version!r}")
+    headers: dict[str, str] = {}
+    for raw in lines[1:]:
+        if not raw.strip():
+            continue
+        if raw[0] in " \t":
+            raise ProtocolError("obsolete header line folding is not supported")
+        name, separator, value = raw.partition(":")
+        if not separator or not name.strip():
+            raise ProtocolError(f"malformed header line: {raw!r}")
+        headers[name.strip().lower()] = value.strip()
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        raise ProtocolError("chunked transfer encoding is not supported")
+    body = b""
+    length_header = headers.get("content-length")
+    if length_header is not None:
+        try:
+            length = int(length_header)
+        except ValueError:
+            raise ProtocolError(f"malformed Content-Length: {length_header!r}")
+        if length < 0:
+            raise ProtocolError(f"negative Content-Length: {length}")
+        if length > max_body_bytes:
+            raise ProtocolError(
+                f"body of {length} bytes exceeds the {max_body_bytes} limit",
+                status=413,
+            )
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError as error:
+                raise ProtocolError("connection closed mid-body") from error
+    path = target.split("?", 1)[0]
+    return HttpRequest(
+        method=method,
+        target=target,
+        path=path,
+        version=version,
+        headers=headers,
+        body=body,
+    )
+
+
+def encode_response(
+    status: int,
+    body: bytes = b"",
+    *,
+    content_type: str = "application/json",
+    headers: Optional[Mapping[str, str]] = None,
+    keep_alive: bool = True,
+) -> bytes:
+    """Serialise one fixed-length HTTP/1.1 response.
+
+    ``headers`` adds extra fields (e.g. ``Retry-After``); ``keep_alive``
+    controls the ``Connection`` header the peer uses to decide on reuse.
+    """
+    reason = REASON_PHRASES.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    head = "\r\n".join(lines) + "\r\n\r\n"
+    return head.encode("latin-1") + body

@@ -215,6 +215,15 @@ def chunk_fault_hook(lane: Optional[int]) -> None:
 # --------------------------------------------------------------------- #
 # parent side
 # --------------------------------------------------------------------- #
+def _proc_state(pid: int) -> str:
+    """The kernel state letter for ``pid`` ("Z" = zombie), "" if unknown."""
+    try:
+        with open(f"/proc/{pid}/stat") as stat:
+            return stat.read().rpartition(")")[2].split()[0]
+    except (OSError, IndexError):
+        return ""
+
+
 def kill_worker(pid: int, wait_seconds: float = 5.0) -> None:
     """SIGKILL a worker process and wait until the pid is really gone.
 
@@ -222,6 +231,13 @@ def kill_worker(pid: int, wait_seconds: float = 5.0) -> None:
     worker is *dying* (but not yet dead) can race the executor's own death
     detection.  Raises ``TimeoutError`` if the process outlives the wait —
     which would mean the kill failed, not that the test should continue.
+
+    Reaping goes through the ``multiprocessing.Process`` object, never a
+    raw ``os.waitpid``: stealing the exit status from under the process
+    object leaves its ``poll()`` with ECHILD (= "unknown, assume alive"),
+    and the already-reaped pid then haunts
+    ``multiprocessing.active_children()`` forever — a phantom leak the
+    resource checker cannot distinguish from a real one.
     """
     try:
         os.kill(pid, signal.SIGKILL)
@@ -229,18 +245,22 @@ def kill_worker(pid: int, wait_seconds: float = 5.0) -> None:
         return
     deadline = time.monotonic() + wait_seconds
     while time.monotonic() < deadline:
+        child = next(
+            (c for c in multiprocessing.active_children() if c.pid == pid), None
+        )
+        if child is not None:
+            # join records the exit status on the process object, so
+            # active_children() drops it and the next iteration sees it gone
+            child.join(max(deadline - time.monotonic(), 0.01))
+            continue
         try:
             os.kill(pid, 0)
         except ProcessLookupError:
             return
-        # a zombie still answers signal 0; reap-check via waitpid when the
-        # pid is our child (workers are), ignoring "not a child" errors
-        try:
-            done, _ = os.waitpid(pid, os.WNOHANG)
-            if done == pid:
-                return
-        except ChildProcessError:
-            pass
+        if _proc_state(pid) == "Z":
+            # dead, awaiting reaping by whoever owns it (the executor's
+            # supervision thread) — dead enough for the test to proceed
+            return
         time.sleep(0.01)
     raise TimeoutError(f"pid {pid} survived SIGKILL for {wait_seconds}s")
 

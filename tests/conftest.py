@@ -19,6 +19,14 @@ from repro.uncertain import (
 )
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: long-running soak/load tests, run in a dedicated CI job "
+        "(deselect locally with -m 'not slow')",
+    )
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     """Deterministic random generator for tests."""

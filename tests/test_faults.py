@@ -231,24 +231,28 @@ def test_watchdog_terminates_wedged_lane(database, requests, serial_snapshot):
 
 
 def test_deadline_raises_cleanly_from_worker(database, requests):
-    # a short stall lets the *cooperative* deadline checks fire inside the
-    # worker — no watchdog kill, no respawn
-    plan = FaultPlan(delay_lane=ANY_LANE, delay_seconds=0.6, delay_once=True)
+    # a stall lets the *cooperative* deadline checks fire inside the
+    # worker — no watchdog kill, no respawn.  The stall is 4x the deadline
+    # (not a hair over it) so a loaded CI machine cannot finish the delayed
+    # chunk before the deadline trips
+    plan = FaultPlan(delay_lane=ANY_LANE, delay_seconds=2.0, delay_once=True)
     with inject_faults(plan):
         with _service(database, workers=1, watchdog_grace=30.0) as service:
             with pytest.raises(DeadlineExceeded):
-                service.evaluate_many(requests, deadline=0.3)
+                service.evaluate_many(requests, deadline=0.5)
             assert service.worker_respawns == 0
 
 
 def test_deadline_expires_while_queued(database, requests):
     # one lane, held busy by a delayed batch: the second batch's deadline
-    # passes before it ever reaches the pool and must fail fast in-queue
-    plan = FaultPlan(delay_lane=ANY_LANE, delay_seconds=1.0, delay_once=True)
+    # passes before it ever reaches the pool and must fail fast in-queue.
+    # The busy batch holds the lane ~6x longer than the queued deadline so
+    # scheduling jitter cannot let the queued batch start in time
+    plan = FaultPlan(delay_lane=ANY_LANE, delay_seconds=2.0, delay_once=True)
     with inject_faults(plan):
         with _service(database, workers=1) as service:
             busy = service.submit(requests)
-            queued = service.submit(requests, deadline=0.2)
+            queued = service.submit(requests, deadline=0.3)
             with pytest.raises(DeadlineExceeded, match="queued"):
                 queued.result(timeout=60)
             assert busy.result(timeout=60) is not None
@@ -421,7 +425,9 @@ def test_service_survives_tiny_store_exhaustion(
 # admission control: bounded queue, fast rejection
 # --------------------------------------------------------------------- #
 def test_admission_bounds_pending_batches(database, requests, serial_snapshot):
-    plan = FaultPlan(delay_lane=ANY_LANE, delay_seconds=1.0, delay_once=True)
+    # the delay only has to outlast the few microseconds between the three
+    # submits below, but a wide margin keeps the test calm under CI load
+    plan = FaultPlan(delay_lane=ANY_LANE, delay_seconds=1.5, delay_once=True)
     with inject_faults(plan):
         with _service(database, workers=1, max_pending_batches=2) as service:
             first = service.submit(requests)
@@ -439,7 +445,7 @@ def test_admission_bounds_pending_batches(database, requests, serial_snapshot):
 
 
 def test_admission_bounds_pending_requests(database, requests):
-    plan = FaultPlan(delay_lane=ANY_LANE, delay_seconds=1.0, delay_once=True)
+    plan = FaultPlan(delay_lane=ANY_LANE, delay_seconds=1.5, delay_once=True)
     with inject_faults(plan):
         limit = len(requests) + 2  # one full batch fits, a second cannot
         with _service(database, workers=1, max_pending_requests=limit) as service:
@@ -510,12 +516,16 @@ def test_close_races_concurrent_submitters(database, requests):
     outcomes: list[str] = []
     outcomes_lock = threading.Lock()
     start = threading.Barrier(5)
+    # event-based sync instead of a wall-clock sleep: close() races in only
+    # once at least one submit has demonstrably landed, on any machine speed
+    first_submit_landed = threading.Event()
 
     def submitter():
         start.wait()
         for _ in range(6):
             try:
                 handle = service.submit(requests[:2])
+                first_submit_landed.set()
             except ServiceClosedError:
                 with outcomes_lock:
                     outcomes.append("rejected")
@@ -533,7 +543,7 @@ def test_close_races_concurrent_submitters(database, requests):
     for thread in threads:
         thread.start()
     start.wait()
-    time.sleep(0.05)  # let a few submits land before the close races in
+    assert first_submit_landed.wait(timeout=30.0)
     service.close(wait=False)
     for thread in threads:
         thread.join(timeout=120)

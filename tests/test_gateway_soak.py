@@ -1,0 +1,145 @@
+"""Closed-loop soak test of the gateway (pytest ``slow`` marker).
+
+Drives the gateway with ``repro.testing.load`` for ``REPRO_SOAK_SECONDS``
+(default 3 s locally; the dedicated CI job sets 30) and asserts the
+properties a long-lived service must keep:
+
+* zero transport errors and zero connection leaks — every client
+  connection the run opened is closed again, client- and server-side;
+* zero stuck futures — the gateway's in-flight gauge and the service's
+  pending counters return to zero once the load stops;
+* monotone metrics counters — periodic ``/metrics`` samples taken *during*
+  the run never go backwards;
+* no leaked worker processes or shared-memory blocks (the fault harness's
+  resource check, reused as a leak detector).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro.datasets import uniform_rectangle_database
+from repro.engine import ExecutorConfig, QueryService
+from repro.gateway import GatewayServer
+from repro.testing.faults import assert_no_leaked_resources, snapshot_resources
+from repro.testing.load import run_closed_loop
+
+#: Counters sampled from ``GET /metrics`` that must never decrease.
+MONOTONE_COUNTERS = [
+    ("gateway", "requests_total"),
+    ("gateway", "coalesce_hits"),
+    ("gateway", "connections_total"),
+    ("gateway", "engine", "batches_total"),
+    ("gateway", "engine", "scheduler_steps"),
+    ("gateway", "engine", "result_iterations"),
+    ("gateway", "engine", "worker_respawns"),
+    ("gateway", "engine", "chunk_retries"),
+    ("service", "worker_respawns"),
+]
+
+
+def _dig(document, path):
+    for key in path:
+        document = document[key]
+    return document
+
+
+@pytest.mark.slow
+def test_closed_loop_soak_no_leaks_no_stuck_futures():
+    duration = float(os.environ.get("REPRO_SOAK_SECONDS", "3"))
+    database = uniform_rectangle_database(num_objects=40, max_extent=0.05, seed=7)
+    resources_before = snapshot_resources()
+
+    def factory(index):
+        # duplicate-heavy, mixed-kind stream: coalescing and both endpoints
+        # get exercised, and the documents are a pure function of the index
+        kind = index % 3
+        if kind == 0:
+            return "/v1/query", {
+                "type": "knn",
+                "query": index % 6,
+                "k": 3,
+                "tau": 0.5,
+                "max_iterations": 2,
+            }
+        if kind == 1:
+            return "/v1/query", {
+                "type": "range",
+                "query": index % 4,
+                "epsilon": 0.3,
+                "tau": 0.5,
+                "max_depth": 3,
+            }
+        return "/v1/batch", {
+            "queries": [
+                {"type": "ranking", "query": index % 5, "max_iterations": 2},
+                {"type": "knn", "query": index % 6, "k": 2, "tau": 0.5,
+                 "max_iterations": 2},
+            ]
+        }
+
+    with QueryService(database, ExecutorConfig(workers=2)) as service:
+        with GatewayServer(service) as server:
+            host, port = server.address
+            samples = []
+            stop_sampling = threading.Event()
+
+            def sample_metrics():
+                url = f"{server.url}/metrics"
+                while not stop_sampling.is_set():
+                    with urllib.request.urlopen(url, timeout=30) as response:
+                        samples.append(json.loads(response.read()))
+                    stop_sampling.wait(max(duration / 20.0, 0.05))
+
+            sampler = threading.Thread(target=sample_metrics)
+            sampler.start()
+            try:
+                report = run_closed_loop(
+                    host,
+                    port,
+                    factory,
+                    concurrency=8,
+                    duration_seconds=duration,
+                    timeout=60.0,
+                )
+            finally:
+                stop_sampling.set()
+                sampler.join(timeout=30)
+
+            # the run did real work and nothing died below HTTP
+            assert report.transport_errors == 0
+            assert report.completed == report.offered > 0
+            assert report.status_counts.get(200, 0) == report.completed
+
+            # monotone counters: no sample ever goes backwards
+            assert len(samples) >= 2
+            for path in MONOTONE_COUNTERS:
+                values = [_dig(sample, path) for sample in samples]
+                assert values == sorted(values), (path, values)
+
+            # no stuck futures: all in-flight gauges drain to zero
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                metrics = server.metrics()
+                if (
+                    metrics["queue_depth"] == 0
+                    and metrics["connections_open"] == 0
+                    and service.pending_requests == 0
+                    and service.pending_batches == 0
+                ):
+                    break
+                time.sleep(0.05)
+            metrics = server.metrics()
+            assert metrics["queue_depth"] == 0
+            assert metrics["connections_open"] == 0
+            assert service.pending_requests == 0
+            assert service.pending_batches == 0
+
+    # no leaked worker processes or shared-memory blocks
+    assert_no_leaked_resources(resources_before)

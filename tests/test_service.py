@@ -14,6 +14,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import threading
+import time
 
 import pytest
 
@@ -300,3 +301,25 @@ def test_service_accepts_bare_database(database, requests, serial_snapshot):
     with QueryService(database, ExecutorConfig(workers=1)) as service:
         assert isinstance(service.engine, QueryEngine)
         assert _snapshot(service.evaluate_many(requests)) == serial_snapshot
+
+
+def test_submit_rejects_invalid_deadlines_eagerly(database, requests):
+    """Bad deadline values fail at submit time, not as DeadlineExceeded."""
+    with _service(database, workers=1) as service:
+        for bad in (0, -1.5, float("nan"), float("inf")):
+            with pytest.raises(ValueError, match="deadline"):
+                service.submit(requests, deadline=bad)
+        # an absolute epoch already in the past can only ever resolve
+        # DeadlineExceeded — reject it before it enters the queue
+        with pytest.raises(ValueError, match="expired"):
+            service.submit(requests, deadline_epoch=time.time() - 1.0)
+        with pytest.raises(ValueError, match="deadline_epoch"):
+            service.submit(requests, deadline_epoch=float("nan"))
+        # relative and absolute deadlines are mutually exclusive
+        with pytest.raises(ValueError, match="not both"):
+            service.submit(requests, deadline=5.0, deadline_epoch=time.time() + 5.0)
+        # rejected submits consumed no admission slots and the service
+        # still works: a valid absolute deadline far away completes fine
+        assert service.pending_batches == 0
+        handle = service.submit(requests, deadline_epoch=time.time() + 120.0)
+        assert handle.result(timeout=60) is not None
