@@ -11,6 +11,15 @@ vessel (itself reporting an imprecise position) wants to know:
   (probabilistic threshold reverse kNN, Corollary 5) — the icebergs whose
   drift updates should be prioritised for this vessel.
 
+The second half turns the one-shot analysis into a *streaming* watch: the
+database is served through :class:`~repro.engine.QueryService` and the HTTP
+gateway, the vessel's kNN and range interests are registered as standing
+queries, and each monitoring tick applies a batch of drift re-sightings via
+``POST /v1/mutate``.  The gateway advances the snapshot epoch behind its
+mutation barrier and refreshes the standing queries incrementally — a far
+new sighting leaves the vessel's range watch untouched (patched/skipped)
+while the kNN watch re-evaluates against the new snapshot.
+
 Run with::
 
     python examples/iceberg_monitoring.py
@@ -84,6 +93,112 @@ def main() -> None:
             f"[{match.probability_lower:.2f}, {match.probability_upper:.2f}] "
             f"after {match.iterations} refinement iterations"
         )
+
+    # ------------------------------------------------------------------ #
+    # streaming: standing queries over the HTTP gateway, drift via /v1/mutate
+    # ------------------------------------------------------------------ #
+    streaming_watch(icebergs, vessel)
+
+
+def streaming_watch(icebergs, vessel) -> None:
+    """Serve the database and keep the vessel's watches fresh across drift.
+
+    Registers a standing kNN query ("the 5 icebergs probably nearest the
+    vessel") and a standing range query ("icebergs probably within
+    ``epsilon`` of the vessel"), then applies three rounds of mutations:
+    drift re-sightings of the nearest icebergs, plus a far-away new
+    sighting whose insertion cannot change the range result — the gateway
+    patches that watch instead of re-evaluating it.
+    """
+    import json
+    import urllib.request
+
+    from repro.engine import ExecutorConfig, QueryService
+    from repro.gateway import GatewayServer
+
+    def post(url: str, document: dict) -> dict:
+        request = urllib.request.Request(
+            url,
+            data=json.dumps(document).encode(),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with urllib.request.urlopen(request) as response:
+            return json.loads(response.read())
+
+    def get(url: str) -> dict:
+        with urllib.request.urlopen(url) as response:
+            return json.loads(response.read())
+
+    mbr = vessel.mbr
+    vessel_literal = {
+        "box": {
+            "lower": [iv.lo for iv in mbr.intervals],
+            "upper": [iv.hi for iv in mbr.intervals],
+        }
+    }
+    watched = knn_candidate_subset(icebergs, vessel, limit=3)
+    centers = {i: icebergs[i].mean() for i in watched}
+    drift_rng = np.random.default_rng(41)
+
+    print("\n--- streaming watch (standing queries over the gateway) ---")
+    with QueryService(icebergs, ExecutorConfig(workers=2)) as service:
+        with GatewayServer(service) as server:
+            knn_watch = post(
+                f"{server.url}/v1/standing",
+                {"query": {"type": "knn", "query": vessel_literal, "k": 5,
+                           "tau": 0.5, "max_iterations": 6}},
+            )
+            range_watch = post(
+                f"{server.url}/v1/standing",
+                {"query": {"type": "range", "query": vessel_literal,
+                           "epsilon": 0.015, "tau": 0.2, "max_depth": 4}},
+            )
+            print(
+                f"registered {knn_watch['id']} (knn) and {range_watch['id']} "
+                f"(range) at epoch {knn_watch['epoch']}"
+            )
+
+            for tick in range(3):
+                ops = []
+                if tick != 1:
+                    # drift re-sightings: the watched icebergs move a little
+                    # and come back with a fresh, tighter uncertainty region
+                    for i in watched:
+                        centers[i] = centers[i] + drift_rng.normal(0.0, 0.002, size=2)
+                        ops.append({
+                            "op": "update",
+                            "position": i,
+                            "object": {"gaussian": {"mean": list(centers[i]),
+                                                    "std": [0.0008, 0.0008]}},
+                        })
+                else:
+                    # a brand-new sighting far from the vessel: too distant to
+                    # enter the range result, so that watch is patched, not
+                    # re-evaluated — only the kNN watch re-runs
+                    ops.append({
+                        "op": "insert",
+                        "object": {"gaussian": {"mean": [0.95, 0.95],
+                                                "std": [0.002, 0.002]}},
+                    })
+                outcome = post(f"{server.url}/v1/mutate", {"mutations": ops})
+                refreshed = outcome["standing"]
+                current = get(f"{server.url}/v1/standing/{knn_watch['id']}")
+                matches = current["result"]["matches"]
+                print(
+                    f"tick {tick}: {outcome['applied']} ops -> epoch "
+                    f"{outcome['epoch']} ({outcome['size']} icebergs); standing: "
+                    f"{refreshed['reevaluated']} re-evaluated, "
+                    f"{refreshed['patched']} patched, {refreshed['skipped']} skipped"
+                )
+                database = service.engine.database
+                for match in sorted(matches, key=lambda m: -m["probability_upper"])[:3]:
+                    label = database[match["index"]].label or f"object-{match['index']}"
+                    print(
+                        f"    {label}: P(among 5 nearest) in "
+                        f"[{match['probability_lower']:.2f}, "
+                        f"{match['probability_upper']:.2f}]"
+                    )
 
 
 def knn_candidate_subset(database, query, limit: int) -> list[int]:

@@ -12,6 +12,14 @@ and some cheap sensors only report coarse discrete levels.  An analyst asks:
 The example also demonstrates mixing object models in one database:
 box-uniform tolerances, truncated-Gaussian noise and discrete level readings.
 
+The second half streams: the database is hosted by a
+:class:`~repro.engine.QueryService`, and each tick applies a batch of fresh
+sensor readings (updates) — plus, eventually, a newly commissioned station
+(insert) — through :meth:`~repro.engine.QueryService.apply`.  Every batch
+advances the snapshot epoch behind the service's mutation barrier; the
+inverse ranking and the expected-rank ranking are re-run against each new
+snapshot, with the bounds caches of untouched sensors staying warm.
+
 Run with::
 
     python examples/sensor_inverse_ranking.py
@@ -109,6 +117,88 @@ def main() -> None:
             f"  {label:18s} expected rank in "
             f"[{entry.expected_rank_lower:5.2f}, {entry.expected_rank_upper:5.2f}]"
         )
+
+    # ------------------------------------------------------------------ #
+    # streaming: fresh readings arrive, the rankings follow the snapshots
+    # ------------------------------------------------------------------ #
+    streaming_readings(database, reference, station)
+
+
+def streaming_readings(database, reference, station: int) -> None:
+    """Re-rank the watched station as new sensor readings stream in.
+
+    Each tick applies one mutation batch through the service's snapshot
+    barrier: re-readings tighten a few sensors around fresh centers that
+    drift toward the reference condition, and the second tick also
+    commissions a brand-new station right next to it.  The watched
+    station's rank distribution and the head of the expected-rank ranking
+    are re-evaluated against every snapshot.
+    """
+    from repro import Insert, Update
+    from repro.engine import (
+        ExecutorConfig,
+        InverseRankingQuery,
+        QueryService,
+        RankingQuery,
+    )
+
+    rng = np.random.default_rng(17)
+    reference_center = reference.mean()
+    # re-read the box/discrete sensors nearest the reference (never the
+    # watched station itself, so its own reading stays fixed)
+    refreshed = [i for i in (0, 9, 12, 21) if i != station]
+
+    watch = InverseRankingQuery(
+        target=station, reference=reference, max_iterations=6, uncertainty_budget=0.1
+    )
+    leaderboard = RankingQuery(query=reference, max_iterations=4, uncertainty_budget=0.5)
+
+    print("\n--- streaming readings (mutations through the service) ---")
+    with QueryService(database, ExecutorConfig(workers=2)) as service:
+        for tick in range(3):
+            ops = []
+            for i in refreshed:
+                # a fresh reading: drift 40% of the way toward the reference,
+                # with the tight tolerance of a freshly calibrated sensor
+                current = service.engine.database[i]
+                center = current.mean() + 0.4 * (reference_center - current.mean())
+                center = center + rng.normal(0.0, 0.005, size=2)
+                ops.append(
+                    Update(
+                        i,
+                        TruncatedGaussianObject(
+                            center, [0.004, 0.004], label=current.label
+                        ),
+                    )
+                )
+            if tick == 1:
+                ops.append(
+                    Insert(
+                        TruncatedGaussianObject(
+                            reference_center + rng.normal(0.0, 0.01, size=2),
+                            [0.003, 0.003],
+                            label="new-station",
+                        )
+                    )
+                )
+            epoch = service.apply(ops)
+            current = service.engine.database
+            distribution, ranking = service.submit([watch, leaderboard]).result(
+                timeout=120
+            )
+            lower, upper = distribution.expected_rank_bounds()
+            top = ranking.top(3)
+            leaders = ", ".join(current[e.index].label for e in top)
+            print(
+                f"tick {tick}: {len(ops)} readings -> epoch {epoch} "
+                f"({len(current)} stations)"
+            )
+            print(
+                f"    {current[station].label}: expected rank in "
+                f"[{lower:.2f}, {upper:.2f}], most likely rank "
+                f"{distribution.most_likely_rank()}"
+            )
+            print(f"    leaders: {leaders}")
 
 
 if __name__ == "__main__":

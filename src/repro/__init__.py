@@ -56,14 +56,17 @@ from .geometry import (
 from .uncertain import (
     BoxUniformObject,
     DecompositionTree,
+    Delete,
     DiscreteObject,
     HistogramObject,
+    Insert,
     MixtureObject,
     Partition,
     PointObject,
     TruncatedGaussianObject,
     UncertainDatabase,
     UncertainObject,
+    Update,
     discretise_database,
     sample_database,
 )
@@ -103,6 +106,7 @@ from .engine import (
     ExecutorConfig,
     InverseRankingQuery,
     KNNQuery,
+    MutationTicket,
     QueryEngine,
     QueryService,
     RangeQuery,
@@ -113,7 +117,7 @@ from .engine import (
     ServiceBatch,
 )
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     # core
@@ -156,6 +160,9 @@ __all__ = [
     "HistogramObject",
     "DecompositionTree",
     "Partition",
+    "Insert",
+    "Update",
+    "Delete",
     "discretise_database",
     "sample_database",
     # queries
@@ -192,6 +199,7 @@ __all__ = [
     "QueryEngine",
     "QueryService",
     "ServiceBatch",
+    "MutationTicket",
     "RefinementContext",
     "RefinementScheduler",
     "KNNQuery",

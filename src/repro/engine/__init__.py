@@ -59,7 +59,7 @@ from .requests import (
     RKNNQuery,
 )
 from .scheduler import RefinementScheduler
-from .service import QueryService, ServiceBatch
+from .service import MutationTicket, QueryService, ServiceBatch
 
 __all__ = [
     "BatchReport",
@@ -73,6 +73,7 @@ __all__ = [
     "DominationCountQuery",
     "InverseRankingQuery",
     "KNNQuery",
+    "MutationTicket",
     "QueryEngine",
     "QueryRequest",
     "QueryService",

@@ -133,21 +133,30 @@ def bound_store_available() -> bool:
 def stable_object_key(database: "UncertainDatabase", obj: "UncertainObject") -> tuple:
     """Process-independent identity of ``obj`` relative to ``database``.
 
-    Database members key by position (``("db", index)``) — positions are
-    identical in every process that received the same database, including
-    workers that *mapped* it through shared memory.  Ad-hoc objects (e.g.
-    query objects shipped inside requests) key by a content digest of their
-    pickle (``("pickle", hexdigest)``): the worker's unpickled copy digests
-    to the same value as the parent's original, so both sides derive the
-    same shared-store key.  The digest is memoised in a weak side table —
-    never written onto the object, which would change its future pickles
-    and therefore the digests other processes compute.  A digest mismatch
-    can only ever cause a cache *miss*, never a wrong hit, because the full
-    key is verified on every read.
+    Database members key by position *and generation*
+    (``("db", index, generation)``) — positions and generations are
+    identical in every process that received the same database snapshot,
+    including workers that *mapped* it through shared memory or advanced it
+    by replaying mutation deltas.  Folding the generation in is what makes
+    the store survive mutations with per-column granularity: an untouched
+    object keeps its key (and therefore its published columns) across
+    epochs, while a mutated object gets a fresh generation and its stale
+    columns simply become unreachable — generations are unique per object
+    content within a snapshot lineage, so a ``(position, generation)`` pair
+    can never alias two different contents even after deletes shift
+    positions.  Ad-hoc objects (e.g. query objects shipped inside requests)
+    key by a content digest of their pickle (``("pickle", hexdigest)``):
+    the worker's unpickled copy digests to the same value as the parent's
+    original, so both sides derive the same shared-store key.  The digest
+    is memoised in a weak side table — never written onto the object, which
+    would change its future pickles and therefore the digests other
+    processes compute.  A digest mismatch can only ever cause a cache
+    *miss*, never a wrong hit, because the full key is verified on every
+    read.
     """
     position = database.position_of(obj)
     if position is not None:
-        return ("db", position)
+        return ("db", position, database.generation_of(position))
     digest = _DIGESTS.get(obj)
     if digest is None:
         digest = hashlib.blake2b(

@@ -71,6 +71,10 @@ class CandidateSource(Protocol):
         """Every non-excluded index (sorted) — the no-filter fallback."""
         ...
 
+    def advance(self, database: UncertainDatabase, mutations: tuple) -> None:
+        """Follow the database to a new snapshot (see ``UncertainDatabase.apply``)."""
+        ...
+
 
 class _DatabaseCandidateSource:
     """Shared plumbing of the concrete candidate sources."""
@@ -80,6 +84,10 @@ class _DatabaseCandidateSource:
 
     def __len__(self) -> int:
         return len(self.database)
+
+    def advance(self, database: UncertainDatabase, mutations: tuple) -> None:
+        """Rebind to the new snapshot (scan reads ``database.mbrs()`` fresh)."""
+        self.database = database
 
     def all_candidates(self, exclude: ExcludeSpec) -> np.ndarray:
         """Every non-excluded database position, sorted ascending."""
@@ -152,6 +160,30 @@ class RTreeCandidateSource(_DatabaseCandidateSource):
         if self._rtree is None:
             self._rtree = RTree(self.database.mbrs())
         return self._rtree
+
+    def advance(self, database: UncertainDatabase, mutations: tuple) -> None:
+        """Maintain the R-tree incrementally across a snapshot boundary.
+
+        Inserts, updates and deletes are applied to the existing tree (MBRs
+        re-tightened along the touched paths) instead of bulk-loading a new
+        one.  Candidate sets are tree-shape-independent, so the incremental
+        tree answers queries identically to a fresh build.  A tree that was
+        never built stays unbuilt — it will bulk-load lazily from the new
+        snapshot.
+        """
+        from ..uncertain.base import Delete, Insert, Update
+
+        tree = self._rtree
+        self.database = database
+        if tree is None:
+            return
+        for mutation in mutations:
+            if isinstance(mutation, Insert):
+                tree.insert(mutation.obj.mbr.to_array())
+            elif isinstance(mutation, Update):
+                tree.update(mutation.position, mutation.obj.mbr.to_array())
+            elif isinstance(mutation, Delete):
+                tree.delete(mutation.position)
 
     def knn_candidates(
         self, query: Rectangle, k: int, p: float, exclude: ExcludeSpec

@@ -318,6 +318,62 @@ class RefinementContext:
         return encode_stable_key(("pb1", self.axis_policy, *stable, config))
 
     # ------------------------------------------------------------------ #
+    # snapshot advancement
+    # ------------------------------------------------------------------ #
+    def advance(
+        self,
+        database: UncertainDatabase,
+        removed_objects: "tuple[UncertainObject, ...] | list[UncertainObject]" = (),
+    ) -> None:
+        """Move the context to a new database snapshot, evicting by generation.
+
+        ``removed_objects`` are the object instances the mutation replaced or
+        deleted (every other object is shared between the snapshots).  Only
+        their state is dropped: the decomposition trees cached for them and
+        the local pair-bounds columns whose key references those trees'
+        tokens.  Everything else stays warm — which is the whole point of the
+        snapshot model; a wholesale :meth:`clear` would throw away every
+        column the shared store could keep serving.
+
+        Staleness is structurally impossible on both tiers: local pair keys
+        use process-unique tree tokens (a replaced object's new tree gets a
+        new token), and shared keys fold the per-object generation (a
+        replaced object gets a fresh generation), so a lookup for the new
+        content can never land on a column computed for the old content.
+        The evictions here reclaim memory and unregister dead token
+        translations; the token translations of surviving trees are
+        recomputed against the new snapshot because a delete may have
+        shifted member positions.
+        """
+        self.database = database
+        dead_tokens: set[int] = set()
+        for obj in removed_objects:
+            tree = dict.get(self.tree_cache, id(obj))
+            if tree is not None:
+                dead_tokens.add(tree.token)
+                del self.tree_cache[id(obj)]
+        if dead_tokens:
+            cache = self.pair_bounds_cache
+            stale = []
+            for key in cache:
+                try:
+                    (candidate, target, reference, _config) = key
+                    parts = (candidate[0], target[0], reference[0])
+                except (TypeError, ValueError, IndexError):  # pragma: no cover
+                    continue
+                if any(token in dead_tokens for token in parts):
+                    stale.append(key)
+            for key in stale:
+                dict.__delitem__(cache, key)
+        self._token_keys.clear()
+        self._encoded_keys.clear()
+        if self.shared_store is not None:
+            for tree in self.tree_cache.values():
+                self._register_tree(tree)
+        for idca in self._idca_instances.values():
+            idca.database = database
+
+    # ------------------------------------------------------------------ #
     # introspection
     # ------------------------------------------------------------------ #
     def stats(self) -> dict:

@@ -120,6 +120,37 @@ class QueryEngine:
         self.last_batch_report: Optional[BatchReport] = None
 
     # ------------------------------------------------------------------ #
+    # snapshot advancement
+    # ------------------------------------------------------------------ #
+    def apply_mutations(self, mutations: Sequence) -> UncertainDatabase:
+        """Advance the engine to the next database snapshot (epoch + 1).
+
+        Applies a batch of :class:`~repro.uncertain.base.Insert` /
+        :class:`~repro.uncertain.base.Update` /
+        :class:`~repro.uncertain.base.Delete` mutations to the current
+        database and moves every engine component to the resulting snapshot
+        with per-object granularity: the refinement context evicts only the
+        trees and pair-bounds columns of replaced objects (untouched columns
+        stay warm, locally and in the shared store), and an R-tree candidate
+        source maintains its tree incrementally.  Returns the new snapshot.
+
+        Callers must not run queries concurrently with this method — the
+        service tier sequences mutations between batches
+        (:meth:`repro.engine.service.QueryService.apply`), which is what
+        gives queries the snapshot-visibility guarantee.  Mutations should
+        be *resolved* first (:meth:`UncertainDatabase.resolve_mutations`)
+        when the same batch is replayed in other processes.
+        """
+        old_database = self.database
+        resolved = old_database.resolve_mutations(mutations)
+        database = old_database.apply(resolved)
+        removed = [obj for obj in old_database if database.position_of(obj) is None]
+        self.database = database
+        self.context.advance(database, removed)
+        self.candidate_source.advance(database, resolved)
+        return database
+
+    # ------------------------------------------------------------------ #
     # threshold queries (kNN / RkNN)
     # ------------------------------------------------------------------ #
     def _threshold_idca(self, idca: Optional[IDCA], k: int) -> IDCA:

@@ -343,6 +343,10 @@ class BatchReport:
     #: retries are bit-identical by determinism + warm shared bounds, so a
     #: non-zero count changes latency only, never results.
     chunk_retries: int = 0
+    #: Database snapshot epoch the batch ran against.  Adaptive chunk sizing
+    #: ignores cost history recorded at a different epoch: a mutation can
+    #: change the workload's per-request cost profile arbitrarily.
+    epoch: int = 0
 
     @property
     def num_chunks(self) -> int:
@@ -533,6 +537,7 @@ class BatchReport:
             "kernel_seconds": self.kernel_seconds,
             "kinds": self.kinds,
             "chunk_sizes": [stats.size for stats in self.chunks],
+            "epoch": self.epoch,
         }
 
     def __str__(self) -> str:
@@ -743,6 +748,7 @@ def _initialise_worker(
     payload: bytes,
     bound_store_handle: Optional["BoundStoreHandle"] = None,
     lane: Optional[int] = None,
+    deltas: tuple = (),
 ) -> None:
     """Pool initializer: unpack the engine shipped by the parent process.
 
@@ -755,6 +761,11 @@ def _initialise_worker(
     A respawned lane runs this initializer again with identical arguments,
     which is what makes supervision transparent: the fresh worker attaches
     the same store and finds every column its predecessor published.
+
+    ``deltas`` is the pool's accumulated mutation-delta history: the engine
+    payload is pickled exactly once at pool construction, so a lane spawned
+    (or respawned) after the database mutated replays the deltas in order to
+    reach the pool's current snapshot epoch bit-identically.
     """
     global _WORKER_ENGINE, _WORKER_LANE, _WORKER_STORE_DEGRADED
     _WORKER_ENGINE = pickle.loads(payload)
@@ -769,6 +780,39 @@ def _initialise_worker(
             _WORKER_STORE_DEGRADED = True
         if client is not None:
             _WORKER_ENGINE.context.attach_shared_store(client)
+    for delta in deltas:
+        _apply_delta_to_engine(_WORKER_ENGINE, delta)
+
+
+def _apply_delta_to_engine(engine: "QueryEngine", delta) -> int:
+    """Replay one mutation delta on an engine; returns the engine's epoch.
+
+    Idempotent by epoch: a delta whose ``new_epoch`` the engine has already
+    reached is skipped (a respawned lane replays the full history through the
+    initializer before the pool re-submits the delta that triggered the
+    respawn).  A delta that does not chain onto the current epoch means the
+    histories diverged — that is a bug, not a recoverable condition.
+    """
+    from ..uncertain.sharedmem import load_delta_mutations
+
+    database = engine.database
+    if database.epoch >= delta.new_epoch:
+        return database.epoch
+    if database.epoch != delta.base_epoch:
+        raise RuntimeError(
+            f"mutation delta targets epoch {delta.base_epoch} but the worker "
+            f"database is at epoch {database.epoch}"
+        )
+    engine.apply_mutations(load_delta_mutations(delta))
+    return engine.database.epoch
+
+
+def _worker_apply_delta(delta) -> int:
+    """Advance the worker-local engine by one delta (runs inside a worker)."""
+    engine = _WORKER_ENGINE
+    if engine is None:  # pragma: no cover - defensive: initializer not run
+        raise RuntimeError("worker engine was never initialised")
+    return _apply_delta_to_engine(engine, delta)
 
 
 def run_chunk_on_engine(
@@ -879,6 +923,7 @@ def _worker_probe() -> dict:
         "transport": database_transport(database),
         "shm_name": getattr(database, "_shm_name", None),
         "num_objects": len(database),
+        "epoch": database.epoch,
     }
 
 
@@ -968,6 +1013,9 @@ class WorkerPool:
         self._payload = pickle.dumps(engine)
         self._mp_context = _pool_context(start_method)
         self._handle = bound_store.handle if bound_store is not None else None
+        # mutation-delta history: replayed by every lane spawned after the
+        # payload was pickled, so respawns land on the current snapshot
+        self._deltas: list = []
         self._lanes = [self._new_lane(lane) for lane in range(workers)]
         # bumped on every respawn of a lane, so concurrent failures of many
         # futures from the same dead executor trigger exactly one respawn
@@ -982,7 +1030,7 @@ class WorkerPool:
             max_workers=1,
             mp_context=self._mp_context,
             initializer=_initialise_worker,
-            initargs=(self._payload, self._handle, lane),
+            initargs=(self._payload, self._handle, lane, tuple(self._deltas)),
         )
 
     @property
@@ -1214,6 +1262,46 @@ class WorkerPool:
         """Run the worker probe on one worker lane and return its report."""
         return self._lanes[lane % self.workers].submit(_worker_probe).result()
 
+    def apply_delta(self, delta) -> None:
+        """Advance every worker lane to the delta's snapshot epoch.
+
+        Appends the delta to the pool's replay history first, so a lane that
+        dies mid-apply (or any time later) is respawned straight onto the new
+        epoch — the initializer replays the history and the re-submitted
+        apply becomes an epoch-checked no-op.  Blocks until every lane
+        confirmed the new epoch; callers (the service dispatcher) run this
+        between batches, which is what makes it a barrier.
+        """
+        if self._closed:
+            raise RuntimeError("the worker pool is closed")
+        self._deltas.append(delta)
+        pending = {
+            lane: (self._lanes[lane], self._generation[lane])
+            for lane in range(self.workers)
+        }
+        attempts = 0
+        while pending:
+            futures = {}
+            for lane, (executor, generation) in pending.items():
+                try:
+                    futures[lane] = (executor.submit(_worker_apply_delta, delta), generation)
+                except BrokenExecutor:
+                    futures[lane] = (None, generation)
+            retry: dict[int, tuple] = {}
+            for lane, (future, generation) in futures.items():
+                try:
+                    if future is None:
+                        raise BrokenExecutor("lane died before the delta apply")
+                    future.result()
+                except BrokenExecutor:
+                    if not self.supervised or attempts >= self.max_chunk_retries:
+                        raise
+                    self._respawn_lane(lane, generation)
+                    retry[lane] = (self._lanes[lane], self._generation[lane])
+            if retry:
+                attempts += 1
+            pending = retry
+
     def close(self, wait: bool = True, cancel_pending: bool = False) -> None:
         """Shut the pool down (idempotent).
 
@@ -1260,7 +1348,13 @@ def run_process_batch(
         # signal and falls through to default sizing.
         previous = engine.last_batch_report
         per_request = None
-        if previous is not None and previous.completed_requests > 0:
+        if (
+            previous is not None
+            and previous.completed_requests > 0
+            and previous.epoch == engine.database.epoch
+        ):
+            # cost history from a different snapshot epoch is discarded: a
+            # mutation can change the per-request cost profile arbitrarily
             per_request = (
                 sum(stats.seconds for stats in previous.chunks)
                 / previous.completed_requests
@@ -1285,5 +1379,6 @@ def run_process_batch(
         pool="per-batch",
         worker_respawns=faults["worker_respawns"],
         chunk_retries=faults["chunk_retries"],
+        epoch=engine.database.epoch,
     )
     return results, report

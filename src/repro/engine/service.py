@@ -29,7 +29,16 @@ rebuild.  A :class:`QueryService` hoists that cost out of the batch loop:
   affinity bucket's lane is a stable hash of its key, so successive batches
   route a recurring query object to the same worker's warm caches, and
   ``chunk_size="adaptive"`` sizes chunks from the observed per-request cost
-  of earlier batches (:class:`~repro.engine.executor.BatchReport` history).
+  of earlier batches (:class:`~repro.engine.executor.BatchReport` history);
+* the **database is versioned in place** (PR 9): :meth:`QueryService.apply`
+  threads a mutation batch through the same FIFO queue as query batches,
+  which makes it a *snapshot barrier* — a batch admitted at epoch ``E``
+  sees exactly snapshot ``E``, never a half-applied update.  Workers
+  advance by replaying a small
+  :class:`~repro.uncertain.sharedmem.MutationDelta` (touched objects only)
+  instead of re-importing the dataset, and the shared bounds store stays
+  warm for untouched columns because cache keys fold per-object
+  generations (see ``engine/boundstore.py``).
 
 Determinism is inherited unchanged from the executor layer: results are
 bit-identical to the serial path for every worker count, chunking and batch
@@ -74,7 +83,11 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional, Sequence, Union
 
 from ..uncertain import UncertainDatabase
-from ..uncertain.sharedmem import SharedDatabaseExport, shared_memory_available
+from ..uncertain.sharedmem import (
+    MutationDeltaExport,
+    SharedDatabaseExport,
+    shared_memory_available,
+)
 from .boundstore import SharedBoundStore, bound_store_available
 from .errors import (
     DeadlineExceeded,
@@ -100,7 +113,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from .engine import QueryEngine
     from .requests import QueryRequest
 
-__all__ = ["QueryService", "ServiceBatch"]
+__all__ = ["QueryService", "ServiceBatch", "MutationTicket"]
 
 #: Sentinel distinguishing "argument not passed" from an explicit ``None``
 #: (``chunk_size=None`` meaningfully requests one chunk per affinity bucket).
@@ -165,6 +178,45 @@ class ServiceBatch:
         self._future.add_done_callback(lambda _future: callback(self))
 
 
+class MutationTicket:
+    """Handle to one submitted mutation batch — a future over the new epoch.
+
+    Returned immediately by :meth:`QueryService.submit_mutations`; the
+    mutations are applied by the dispatcher once every earlier batch has
+    finished, so the resolved epoch is exactly the snapshot all later
+    batches see.  All methods are thread-safe.
+    """
+
+    def __init__(self, future: Future):
+        self._future = future
+
+    def done(self) -> bool:
+        """Whether the mutation batch has been applied (or failed)."""
+        return self._future.done()
+
+    def result(self, timeout: Optional[float] = None) -> int:
+        """Block until the mutations are applied; return the new epoch.
+
+        Re-raises the application failure if the batch errored (e.g. a
+        ``ValueError`` from validation, or a worker-pool failure), and
+        :class:`TimeoutError` if ``timeout`` elapses first.
+        """
+        return self._future.result(timeout)
+
+    def exception(self, timeout: Optional[float] = None) -> Optional[BaseException]:
+        """The batch's failure, or ``None`` once it applied successfully."""
+        return self._future.exception(timeout)
+
+    def add_done_callback(self, callback) -> None:
+        """Schedule ``callback(self)`` for when the mutations resolve.
+
+        Same threading contract as :meth:`ServiceBatch.add_done_callback`:
+        the callback runs on the dispatcher thread (or immediately when
+        already resolved), so event-loop callers must marshal themselves.
+        """
+        self._future.add_done_callback(lambda _future: callback(self))
+
+
 @dataclass
 class _Job:
     """One queued batch: requests, their partitioning, and the future."""
@@ -180,6 +232,19 @@ class _Job:
     #: no deadline).  Epoch-based so the same number is comparable in the
     #: dispatcher, the parent-side watchdog and the worker processes.
     deadline_epoch: Optional[float] = None
+
+
+@dataclass
+class _MutationJob:
+    """One queued mutation batch: the (unresolved) mutations and a future.
+
+    Travels through the same FIFO queue as :class:`_Job`, which is the whole
+    trick: the dispatcher applies it after every earlier batch completed and
+    before any later batch starts — a snapshot barrier without extra locks.
+    """
+
+    mutations: tuple
+    future: Future = field(default_factory=Future)
 
 
 #: Exponential-moving-average weight of the newest batch's per-request cost
@@ -323,6 +388,10 @@ class QueryService:
                 self._export.release()
             raise
         self._cost_ewma: Optional[float] = None
+        # parent-side owners of every mutation delta shipped to the pool;
+        # must outlive the pool (a respawned lane replays the whole delta
+        # history from its block), released in close()
+        self._delta_exports: list[MutationDeltaExport] = []
         #: Merged :class:`~repro.engine.executor.BatchReport` of the most
         #: recently *completed* batch (``None`` before the first one).
         self.last_batch_report: Optional[BatchReport] = None
@@ -368,6 +437,18 @@ class QueryService:
     def shared_bounds(self) -> bool:
         """Whether a cross-worker shared bounds store backs this pool."""
         return self._bound_store is not None
+
+    @property
+    def epoch(self) -> int:
+        """Snapshot epoch of the database currently being served.
+
+        Starts at the epoch of the database the service was built over and
+        advances by one per applied mutation batch (:meth:`apply`).  Read
+        from the dispatcher's point of view this may lag a just-submitted
+        mutation — the authoritative epoch for a mutation batch is the one
+        its :class:`MutationTicket` resolves to.
+        """
+        return self.engine.database.epoch
 
     def bound_store_stats(self) -> Optional[dict]:
         """Global occupancy of the shared bounds store (``None`` without one).
@@ -618,6 +699,47 @@ class QueryService:
         )
         return handle.result(timeout)
 
+    def submit_mutations(self, mutations) -> MutationTicket:
+        """Enqueue a mutation batch; return a :class:`MutationTicket` now.
+
+        The mutations ride the same FIFO queue as query batches, so they
+        form a **snapshot barrier**: every batch submitted before this call
+        runs against the pre-mutation snapshot, every batch submitted after
+        the ticket resolves runs against the new one, and nothing ever
+        observes a half-applied update.  The dispatcher resolves the batch
+        against the current snapshot
+        (:meth:`~repro.uncertain.UncertainDatabase.resolve_mutations`),
+        ships a :class:`~repro.uncertain.sharedmem.MutationDelta` — touched
+        objects only — to every worker lane, applies the same resolved
+        batch parent-side, and resolves the ticket with the new epoch.
+
+        Mutations are control-plane work: they bypass
+        ``max_pending_batches`` / ``max_pending_requests`` admission (they
+        must be able to land even under query backpressure).  Raises
+        :class:`~repro.engine.errors.ServiceClosedError` once the service
+        is closed.  A mutation that fails *after* reaching the workers
+        (e.g. the pool died mid-apply) can leave workers ahead of the
+        parent — treat a ticket that resolves with a pool error as fatal
+        and close the service.
+        """
+        job = _MutationJob(mutations=tuple(mutations))
+        with self._submit_lock:
+            if self._closed:
+                raise ServiceClosedError("cannot mutate a closed QueryService")
+            self._jobs.put(job)
+        return MutationTicket(job.future)
+
+    def apply(self, mutations, timeout: Optional[float] = None) -> int:
+        """Apply a mutation batch, blocking until every layer advanced.
+
+        Convenience wrapper over :meth:`submit_mutations` — returns the new
+        snapshot epoch once the parent engine, every worker lane, the shared
+        cache keys and the candidate index all serve the new snapshot.
+        ``timeout`` bounds only this call's wait; the mutation itself is
+        applied by the dispatcher regardless.
+        """
+        return self.submit_mutations(mutations).result(timeout)
+
     # ------------------------------------------------------------------ #
     # dispatcher (single background thread)
     # ------------------------------------------------------------------ #
@@ -627,11 +749,54 @@ class QueryService:
             self._pending_batches -= 1
             self._pending_requests -= len(job.requests)
 
+    def _run_mutation_job(self, job: _MutationJob) -> None:
+        """Apply one mutation batch: workers first, then the parent engine.
+
+        Ordering: the delta export is built from the *current* snapshot, the
+        pool barrier advances every lane, and only then does the parent
+        engine apply — so a failure anywhere before the parent apply leaves
+        the parent (and all admission/partitioning state) on the old epoch.
+        """
+        if not job.future.set_running_or_notify_cancel():
+            return
+        if self._abandoned:
+            job.future.set_exception(
+                ServiceClosedError("the service closed before this mutation ran")
+            )
+            return
+        try:
+            database = self.engine.database
+            resolved = database.resolve_mutations(job.mutations)
+            export = MutationDeltaExport(database, resolved)
+            self._delta_exports.append(export)
+            self._pool.apply_delta(export.delta)
+            self.engine.apply_mutations(resolved)
+        except BaseException as error:
+            if self._abandoned and isinstance(
+                error, (BrokenExecutor, CancelledError, WorkerCrashError)
+            ):
+                job.future.set_exception(
+                    ServiceClosedError(
+                        "the service closed while this mutation was running"
+                    )
+                )
+            else:
+                job.future.set_exception(error)
+            return
+        # the cost profile of the old snapshot does not transfer: content,
+        # cardinality and cache warmth all changed, so adaptive chunk
+        # sizing restarts from scratch at the new epoch
+        self._cost_ewma = None
+        job.future.set_result(self.engine.database.epoch)
+
     def _dispatch_loop(self) -> None:
         while True:
             job = self._jobs.get()
             if job is None:
                 break
+            if isinstance(job, _MutationJob):
+                self._run_mutation_job(job)
+                continue
             try:
                 if not job.future.set_running_or_notify_cancel():
                     continue  # cancelled before it started
@@ -697,6 +862,7 @@ class QueryService:
                     pool="persistent",
                     worker_respawns=faults["worker_respawns"],
                     chunk_retries=faults["chunk_retries"],
+                    epoch=self.engine.database.epoch,
                 )
                 self._seen_pids = self._seen_pids | set(report.worker_pids)
                 self.last_batch_report = report
@@ -736,6 +902,10 @@ class QueryService:
         if wait:
             self._dispatcher.join()
         self._pool.close(wait=wait, cancel_pending=not wait)
+        # no worker can attach a delta block once the pool is gone
+        for export in self._delta_exports:
+            export.close()
+        self._delta_exports.clear()
         if self._bound_store is not None:
             self._bound_store.close()
             self._bound_store = None

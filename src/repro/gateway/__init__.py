@@ -6,6 +6,9 @@ types as JSON over ``POST /v1/query`` / ``POST /v1/batch``, with typed
 service errors mapped onto status codes, client deadlines propagated into
 service deadlines, in-flight request coalescing on stable request keys,
 per-tenant iteration budgets, and ``GET /metrics`` / ``GET /healthz``.
+``POST /v1/mutate`` applies a mutation batch through the service's
+snapshot barrier, and the ``/v1/standing`` routes maintain registered
+queries incrementally across epochs (see ``gateway/server.py``).
 
 Entry points:
 
@@ -16,7 +19,14 @@ Entry points:
 * ``python -m repro.gateway`` — demo server over a synthetic database.
 """
 
-from .codec import CodecError, canonical_json, decode_query, encode_result, request_key
+from .codec import (
+    CodecError,
+    canonical_json,
+    decode_mutations,
+    decode_query,
+    encode_result,
+    request_key,
+)
 from .http import HttpRequest, ProtocolError, encode_response, read_request
 from .metrics import GatewayMetrics, LatencyHistogram
 from .server import AsyncGateway, GatewayConfig, GatewayServer
@@ -31,6 +41,7 @@ __all__ = [
     "LatencyHistogram",
     "ProtocolError",
     "canonical_json",
+    "decode_mutations",
     "decode_query",
     "encode_response",
     "encode_result",

@@ -52,8 +52,10 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "CodecError",
+    "STANDING_KINDS",
     "SUPPORTED_KINDS",
     "canonical_json",
+    "decode_mutations",
     "decode_query",
     "encode_result",
     "request_key",
@@ -61,6 +63,11 @@ __all__ = [
 
 #: The five query types the gateway serves.
 SUPPORTED_KINDS = ("knn", "rknn", "range", "ranking", "inverse_ranking")
+
+#: The query types that may be registered as standing queries (re-evaluated
+#: on mutation).  Restricted to the kinds whose results the gateway knows
+#: how to maintain incrementally — see ``gateway/server.py``.
+STANDING_KINDS = ("knn", "range", "ranking")
 
 
 class CodecError(ValueError):
@@ -263,6 +270,76 @@ def decode_query(payload, database: "UncertainDatabase") -> QueryRequest:
     )
 
 
+def _decode_literal(spec, database: "UncertainDatabase", name: str) -> UncertainObject:
+    """Decode an object literal, rejecting database positions.
+
+    Mutations carry object *content*; a bare position would be ambiguous
+    (insert object number 5?), so only inline literals are accepted.
+    """
+    if isinstance(spec, int) and not isinstance(spec, bool):
+        raise CodecError(
+            f"{name} must be an object literal, not a database position"
+        )
+    return _decode_object(spec, database, name)
+
+
+def decode_mutations(payload, database: "UncertainDatabase") -> tuple:
+    """Decode a client mutation list into typed mutation operations.
+
+    ``payload`` must be a non-empty JSON list of operation objects, each
+    carrying an ``op`` field: ``{"op": "insert", "object": <literal>}``,
+    ``{"op": "update", "position": n, "object": <literal>}`` or
+    ``{"op": "delete", "position": n}``.  Operations are sequential —
+    each position refers to the database state after the preceding
+    operations — and positions are bounds-checked against that running
+    state here, so a malformed batch fails with :class:`CodecError`
+    (→ HTTP 400) before anything reaches the service queue.
+    """
+    from ..uncertain.base import Delete, Insert, Update
+
+    if not isinstance(payload, list) or not payload:
+        raise CodecError("mutations must be a non-empty list of operations")
+    length = len(database)
+    decoded = []
+    for i, op in enumerate(payload):
+        name = f"mutations[{i}]"
+        if not isinstance(op, dict):
+            raise CodecError(f"{name} must be an operation object")
+        kind = _require(op, "op")
+        if kind == "insert":
+            _reject_unknown(op, {"op", "object"}, "insert")
+            decoded.append(
+                Insert(_decode_literal(_require(op, "object"), database, f"{name}.object"))
+            )
+            length += 1
+            continue
+        if kind not in ("update", "delete"):
+            raise CodecError(
+                f"{name}.op must be one of 'insert', 'update', 'delete', got {kind!r}"
+            )
+        position = _as_int(_require(op, "position"), f"{name}.position")
+        if not 0 <= position < length:
+            raise CodecError(
+                f"{name}.position {position} out of range for a database of "
+                f"{length} objects at that point in the batch"
+            )
+        if kind == "update":
+            _reject_unknown(op, {"op", "position", "object"}, "update")
+            decoded.append(
+                Update(
+                    position,
+                    _decode_literal(_require(op, "object"), database, f"{name}.object"),
+                )
+            )
+        else:
+            _reject_unknown(op, {"op", "position"}, "delete")
+            if length == 1:
+                raise CodecError(f"{name} would delete the last remaining object")
+            decoded.append(Delete(position))
+            length -= 1
+    return tuple(decoded)
+
+
 # --------------------------------------------------------------------- #
 # coalescing keys
 # --------------------------------------------------------------------- #
@@ -332,7 +409,12 @@ def request_key(database: "UncertainDatabase", request: QueryRequest) -> bytes:
         )
     else:  # pragma: no cover - decode_query cannot produce other kinds
         raise CodecError(f"cannot key request of type {type(request).__name__}")
-    return encode_stable_key(parts)
+    # the snapshot epoch scopes the key to one database version: results are
+    # a function of the *whole* snapshot, so requests decoded against
+    # different epochs must never coalesce even when every object argument
+    # is untouched (position keys also fold per-object generations, but the
+    # epoch covers content changes anywhere in the database)
+    return encode_stable_key((database.epoch,) + parts)
 
 
 # --------------------------------------------------------------------- #

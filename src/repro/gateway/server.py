@@ -26,6 +26,21 @@ Request lifecycle (see ``docs/architecture.md`` · *Network tier*):
    ``codec.canonical_json``; typed service errors map onto status codes
    (429/503/504, anything else 500) with JSON error bodies.
 
+The gateway also fronts the **mutation path** (PR 9): ``POST /v1/mutate``
+decodes a sequential operation list (``codec.decode_mutations``), applies
+it through the :meth:`QueryService.submit_mutations` snapshot barrier, and
+then refreshes the **standing-query registry** — kNN / range / ranking
+documents registered via ``POST /v1/standing`` whose latest results the
+gateway keeps current across epochs.  The refresh is incremental: a batch
+with deletes re-evaluates everything (positions shift), rank-based queries
+re-evaluate on any mutation (one object can shift every rank), but a range
+query is only re-evaluated when a touched MBR intrudes within ``epsilon``
+of its query — a provably-pruned insert merely patches the stored result's
+``pruned`` count, and an untouched neighbourhood skips the query entirely.
+Mutations and registrations serialise on one ``asyncio`` lock, and the
+coalescing key folds the snapshot epoch, so a result computed at epoch
+``E`` can never be served for a request admitted at ``E+1``.
+
 Everything runs on the standard library: the north star forbids new
 runtime dependencies, and ``asyncio.start_server`` plus the minimal
 HTTP/1.1 layer in ``gateway/http.py`` is all the surface the service
@@ -48,7 +63,16 @@ from ..engine.errors import (
     ServiceError,
     ServiceOverloadedError,
 )
-from .codec import CodecError, canonical_json, decode_query, encode_result, request_key
+from ..geometry import min_dist
+from .codec import (
+    STANDING_KINDS,
+    CodecError,
+    canonical_json,
+    decode_mutations,
+    decode_query,
+    encode_result,
+    request_key,
+)
 from .http import (
     DEFAULT_MAX_BODY_BYTES,
     DEFAULT_MAX_HEADER_BYTES,
@@ -93,6 +117,11 @@ class GatewayConfig:
         Length of the budget window the bucket refills over.
     max_batch_queries:
         Upper bound on ``queries`` per ``POST /v1/batch`` call.
+    max_mutation_ops:
+        Upper bound on operations per ``POST /v1/mutate`` call.
+    max_standing_queries:
+        Registry capacity for ``POST /v1/standing``; registrations beyond
+        it answer 429 until entries are deleted.
     drain_grace_seconds:
         How long :meth:`AsyncGateway.close` waits for in-flight requests
         before force-closing connections.
@@ -108,6 +137,8 @@ class GatewayConfig:
     tenant_budget: Optional[int] = None
     tenant_refill_seconds: float = 1.0
     max_batch_queries: int = 1024
+    max_mutation_ops: int = 1024
+    max_standing_queries: int = 256
     drain_grace_seconds: float = 10.0
     max_header_bytes: int = DEFAULT_MAX_HEADER_BYTES
     max_body_bytes: int = DEFAULT_MAX_BODY_BYTES
@@ -147,6 +178,41 @@ class _TenantBucket:
         self._tokens -= float(amount)
 
 
+@dataclass
+class _StandingQuery:
+    """One registered standing query and its latest maintained result.
+
+    ``payload`` is the canonical result JSON at ``epoch``; ``error`` is set
+    instead when the last refresh failed (e.g. the document referenced a
+    position that a delete removed) — the entry then re-evaluates on every
+    subsequent mutation until it recovers or is deleted.
+    """
+
+    id: str
+    document: dict
+    kind: str
+    epoch: int
+    payload: Optional[bytes]
+    error: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class _TouchProfile:
+    """What a mutation batch touched, captured *before* it applied.
+
+    ``mbrs`` holds the new MBR of every insert and both the old and new
+    MBR of every update — the conservative footprint a standing query must
+    be checked against.  ``positions`` are the (post-batch) positions whose
+    object content changed.  Only meaningful when ``has_delete`` is false:
+    deletes shift positions, and the registry re-evaluates everything.
+    """
+
+    has_delete: bool
+    inserts: int
+    mbrs: tuple
+    positions: frozenset
+
+
 class _JsonError(Exception):
     """Internal control-flow carrier for an error response."""
 
@@ -179,6 +245,11 @@ class AsyncGateway:
         self.metrics = metrics if metrics is not None else GatewayMetrics()
         self._inflight: dict[bytes, asyncio.Future] = {}
         self._tenants: dict[str, _TenantBucket] = {}
+        self._standing: dict[str, _StandingQuery] = {}
+        self._standing_seq = 0
+        # serialises mutations (and standing registrations, which must pin
+        # an epoch across their initial evaluation) on the loop thread
+        self._mutate_lock = asyncio.Lock()
         self._server: Optional[asyncio.AbstractServer] = None
         self._writers: set[asyncio.StreamWriter] = set()
         self._active = 0
@@ -295,7 +366,25 @@ class AsyncGateway:
         if request.path in ("/v1/query", "/v1/batch"):
             if request.method != "POST":
                 return self._plain_error(405, f"{request.path} only supports POST")
-            return await self._query_route(request)
+            return await self._guarded(request, self._query_handler)
+        if request.path == "/v1/mutate":
+            if request.method != "POST":
+                return self._plain_error(405, "/v1/mutate only supports POST")
+            return await self._guarded(request, self._mutate_handler)
+        if request.path == "/v1/standing":
+            if request.method == "POST":
+                return await self._guarded(request, self._standing_register)
+            if request.method == "GET":
+                return await self._guarded(request, self._standing_list)
+            return self._plain_error(405, "/v1/standing supports POST and GET")
+        if request.path.startswith("/v1/standing/"):
+            if request.method == "GET":
+                return await self._guarded(request, self._standing_get)
+            if request.method == "DELETE":
+                return await self._guarded(request, self._standing_delete)
+            return self._plain_error(
+                405, "/v1/standing/<id> supports GET and DELETE"
+            )
         return self._plain_error(404, f"no route for {request.path!r}")
 
     def _plain_error(self, status: int, message: str) -> tuple[int, bytes, dict]:
@@ -309,6 +398,7 @@ class AsyncGateway:
                 "status": "closed" if closed else "ok",
                 "workers": self.service.workers,
                 "queue_depth": self.metrics.in_flight,
+                "epoch": self.service.epoch,
             }
         )
         status = 503 if closed else 200
@@ -322,10 +412,12 @@ class AsyncGateway:
                 "service": {
                     "closed": self.service.closed,
                     "workers": self.service.workers,
+                    "epoch": self.service.epoch,
                     "pending_batches": self.service.pending_batches,
                     "pending_requests": self.service.pending_requests,
                     "worker_respawns": self.service.worker_respawns,
                 },
+                "standing_queries": len(self._standing),
             }
         )
         self.metrics.response_sent(200)
@@ -334,34 +426,21 @@ class AsyncGateway:
     # ------------------------------------------------------------------ #
     # the query path
     # ------------------------------------------------------------------ #
-    async def _query_route(self, request: HttpRequest) -> tuple[int, bytes, dict]:
+    async def _guarded(self, request: HttpRequest, handler) -> tuple[int, bytes, dict]:
+        """Run one route handler under the shared metrics + error ladder.
+
+        Every typed failure maps onto its status code (400 codec, 429
+        overload, 503 closed, 504 deadline, 500 anything else) with a JSON
+        error body, and the in-flight accounting that gates graceful drain
+        brackets the handler regardless of outcome.
+        """
         started = time.monotonic()
         self.metrics.request_started()
         self._active += 1
         if self._idle is not None:
             self._idle.clear()
         try:
-            body = self._run_route_checks(request)
-            if request.path == "/v1/query":
-                payloads = await self._evaluate_documents(
-                    [self._strip_transport(body)], *self._transport_fields(body)
-                )
-                response = b'{"result":' + payloads[0] + b"}"
-            else:
-                queries = body.get("queries")
-                if not isinstance(queries, list) or not queries:
-                    raise _JsonError(400, "batch body must have a non-empty 'queries' list")
-                if len(queries) > self.config.max_batch_queries:
-                    raise _JsonError(
-                        413,
-                        f"batch of {len(queries)} queries exceeds the "
-                        f"{self.config.max_batch_queries} limit",
-                    )
-                payloads = await self._evaluate_documents(
-                    queries, *self._transport_fields(body)
-                )
-                response = b'{"results":[' + b",".join(payloads) + b"]}"
-            status, out, headers = 200, response, {}
+            status, out, headers = await handler(request)
         except _JsonError as error:
             status = error.status
             out = canonical_json({"error": str(error)})
@@ -388,6 +467,27 @@ class AsyncGateway:
                 self._idle.set()
         self.metrics.request_finished(status, time.monotonic() - started)
         return status, out, headers
+
+    async def _query_handler(self, request: HttpRequest) -> tuple[int, bytes, dict]:
+        body = self._run_route_checks(request)
+        if request.path == "/v1/query":
+            payloads = await self._evaluate_documents(
+                [self._strip_transport(body)], *self._transport_fields(body)
+            )
+            return 200, b'{"result":' + payloads[0] + b"}", {}
+        queries = body.get("queries")
+        if not isinstance(queries, list) or not queries:
+            raise _JsonError(400, "batch body must have a non-empty 'queries' list")
+        if len(queries) > self.config.max_batch_queries:
+            raise _JsonError(
+                413,
+                f"batch of {len(queries)} queries exceeds the "
+                f"{self.config.max_batch_queries} limit",
+            )
+        payloads = await self._evaluate_documents(
+            queries, *self._transport_fields(body)
+        )
+        return 200, b'{"results":[' + b",".join(payloads) + b"]}", {}
 
     def _run_route_checks(self, request: HttpRequest) -> dict:
         try:
@@ -563,6 +663,262 @@ class AsyncGateway:
         for future, payload in zip(futures, payloads):
             if not future.done():
                 future.set_result(payload)
+
+    # ------------------------------------------------------------------ #
+    # the mutation path and the standing-query registry
+    # ------------------------------------------------------------------ #
+    async def _mutate_handler(self, request: HttpRequest) -> tuple[int, bytes, dict]:
+        body = self._run_route_checks(request)
+        ops = body.get("mutations")
+        if not isinstance(ops, list) or not ops:
+            raise _JsonError(400, "mutate body must have a non-empty 'mutations' list")
+        if len(ops) > self.config.max_mutation_ops:
+            raise _JsonError(
+                413,
+                f"batch of {len(ops)} operations exceeds the "
+                f"{self.config.max_mutation_ops} limit",
+            )
+        async with self._mutate_lock:
+            if self._closing:
+                raise ServiceClosedError("gateway is shutting down")
+            database = self.service.engine.database
+            mutations = decode_mutations(ops, database)
+            profile = self._touch_profile(database, mutations)
+            try:
+                epoch = await self._apply_service_mutations(mutations)
+            except ValueError as error:
+                raise _JsonError(400, f"mutation rejected: {error}") from error
+            summary = await self._refresh_standing(profile)
+        out = canonical_json(
+            {
+                "applied": len(mutations),
+                "epoch": epoch,
+                "size": len(self.service.engine.database),
+                "standing": summary,
+            }
+        )
+        return 200, out, {}
+
+    async def _apply_service_mutations(self, mutations) -> int:
+        """Await the service's mutation barrier from the event loop."""
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        ticket = self.service.submit_mutations(mutations)
+
+        def _marshal(done_ticket) -> None:
+            # runs on the service dispatcher thread — marshal onto the loop
+            try:
+                loop.call_soon_threadsafe(self._resolve_ticket, future, done_ticket)
+            except RuntimeError:
+                pass  # loop already closed; the waiter is gone with it
+
+        ticket.add_done_callback(_marshal)
+        return await future
+
+    @staticmethod
+    def _resolve_ticket(future, ticket) -> None:
+        if future.done():  # pragma: no cover - loop shutdown race
+            return
+        error = ticket.exception()
+        if error is not None:
+            future.set_exception(error)
+        else:
+            future.set_result(ticket.result())
+
+    @staticmethod
+    def _touch_profile(database, mutations) -> _TouchProfile:
+        """Conservative footprint of a batch against the pre-apply snapshot."""
+        from ..uncertain import Delete, Insert, Update
+
+        has_delete = False
+        inserts = 0
+        mbrs: list = []
+        positions: set[int] = set()
+        appended: list = []  # MBRs of objects this batch inserted, by order
+        latest: dict[int, object] = {}  # position -> MBR after earlier ops
+        base = len(database)
+        for mutation in mutations:
+            if isinstance(mutation, Delete):
+                has_delete = True
+            elif isinstance(mutation, Insert):
+                inserts += 1
+                mbrs.append(mutation.obj.mbr)
+                appended.append(mutation.obj.mbr)
+            elif isinstance(mutation, Update):
+                position = mutation.position
+                old = latest.get(position)
+                if old is None:
+                    old = (
+                        database[position].mbr
+                        if position < base
+                        else appended[position - base]
+                    )
+                mbrs.append(old)
+                mbrs.append(mutation.obj.mbr)
+                latest[position] = mutation.obj.mbr
+                positions.add(position)
+        return _TouchProfile(
+            has_delete=has_delete,
+            inserts=inserts,
+            mbrs=tuple(mbrs),
+            positions=frozenset(positions),
+        )
+
+    async def _refresh_standing(self, profile: _TouchProfile) -> dict:
+        """Bring every standing query to the new epoch, skipping what it can.
+
+        The skip/patch fast paths exist only for range queries, whose
+        per-object membership is independent of the rest of the database: a
+        touched MBR strictly farther than ``epsilon`` from the query cannot
+        change any per-object probability, so an insert there merely
+        increments the stored ``pruned`` count and an update changes
+        nothing.  Rank-based kinds (knn, ranking) re-evaluate on every
+        mutation, and any delete re-evaluates everything — positions in
+        both the registry's documents and its stored results shift.
+        """
+        summary = {"reevaluated": 0, "patched": 0, "skipped": 0, "errors": 0}
+        if not self._standing:
+            return summary
+        database = self.service.engine.database
+        pending = []
+        for standing in self._standing.values():
+            decision = self._standing_decision(standing, database, profile)
+            if decision == "reevaluate":
+                pending.append(standing)
+            elif decision == "patch":
+                document = json.loads(standing.payload)
+                document["pruned"] += profile.inserts
+                standing.payload = canonical_json(document)
+                standing.epoch = database.epoch
+                summary["patched"] += 1
+            else:
+                standing.epoch = database.epoch
+                summary["skipped"] += 1
+        outcomes = await asyncio.gather(
+            *(self._reevaluate_standing(standing) for standing in pending)
+        )
+        for recovered in outcomes:
+            summary["reevaluated" if recovered else "errors"] += 1
+        return summary
+
+    def _standing_decision(
+        self, standing: _StandingQuery, database, profile: _TouchProfile
+    ) -> str:
+        if (
+            profile.has_delete
+            or standing.kind != "range"
+            or standing.error is not None
+        ):
+            return "reevaluate"
+        try:
+            decoded = decode_query(standing.document, database)
+        except CodecError:
+            return "reevaluate"  # surfaces as this entry's error state
+        spec = decoded.query
+        if isinstance(spec, int):
+            if spec in profile.positions:
+                return "reevaluate"  # the query object itself changed
+            query_mbr = database[spec].mbr
+        else:
+            query_mbr = spec.mbr
+        p = self.service.engine.p
+        if any(
+            min_dist(touched, query_mbr, p) <= decoded.epsilon
+            for touched in profile.mbrs
+        ):
+            return "reevaluate"
+        return "patch" if profile.inserts else "skip"
+
+    async def _reevaluate_standing(self, standing: _StandingQuery) -> bool:
+        try:
+            payloads = await self._evaluate_documents([standing.document], None, None)
+        except Exception as error:  # noqa: BLE001 - stored, not propagated
+            standing.payload = None
+            standing.error = f"{type(error).__name__}: {error}"
+            standing.epoch = self.service.epoch
+            return False
+        standing.payload = payloads[0]
+        standing.error = None
+        standing.epoch = self.service.epoch
+        return True
+
+    @staticmethod
+    def _standing_body(standing: _StandingQuery) -> bytes:
+        if standing.payload is None:
+            return canonical_json(
+                {
+                    "epoch": standing.epoch,
+                    "error": standing.error,
+                    "id": standing.id,
+                    "kind": standing.kind,
+                }
+            )
+        return (
+            b'{"epoch":%d,"id":%s,"kind":%s,"result":%s}'
+            % (
+                standing.epoch,
+                canonical_json(standing.id),
+                canonical_json(standing.kind),
+                standing.payload,
+            )
+        )
+
+    async def _standing_register(self, request: HttpRequest) -> tuple[int, bytes, dict]:
+        body = self._run_route_checks(request)
+        document = body.get("query")
+        if not isinstance(document, dict):
+            raise _JsonError(400, "standing body must have a 'query' object")
+        timeout_ms, tenant = self._transport_fields(body)
+        stripped = self._strip_transport(document)
+        kind = stripped.get("type")
+        if kind not in STANDING_KINDS:
+            raise _JsonError(
+                400,
+                f"standing queries support types {STANDING_KINDS}, got {kind!r}",
+            )
+        if len(self._standing) >= self.config.max_standing_queries:
+            raise _JsonError(
+                429,
+                f"standing-query registry is full "
+                f"({self.config.max_standing_queries} entries)",
+                headers={"Retry-After": "1"},
+            )
+        async with self._mutate_lock:
+            # the lock pins the epoch across the initial evaluation: no
+            # mutation can land between evaluating and recording it
+            payloads = await self._evaluate_documents([stripped], timeout_ms, tenant)
+            self._standing_seq += 1
+            standing = _StandingQuery(
+                id=f"sq-{self._standing_seq}",
+                document=stripped,
+                kind=kind,
+                epoch=self.service.epoch,
+                payload=payloads[0],
+            )
+            self._standing[standing.id] = standing
+        return 200, self._standing_body(standing), {}
+
+    async def _standing_list(self, request: HttpRequest) -> tuple[int, bytes, dict]:
+        entries = [
+            {"epoch": s.epoch, "id": s.id, "kind": s.kind, "error": s.error}
+            for s in self._standing.values()
+        ]
+        return 200, canonical_json({"epoch": self.service.epoch, "standing": entries}), {}
+
+    def _standing_id(self, request: HttpRequest) -> _StandingQuery:
+        standing_id = request.path[len("/v1/standing/"):]
+        standing = self._standing.get(standing_id)
+        if standing is None:
+            raise _JsonError(404, f"no standing query {standing_id!r}")
+        return standing
+
+    async def _standing_get(self, request: HttpRequest) -> tuple[int, bytes, dict]:
+        return 200, self._standing_body(self._standing_id(request)), {}
+
+    async def _standing_delete(self, request: HttpRequest) -> tuple[int, bytes, dict]:
+        standing = self._standing_id(request)
+        del self._standing[standing.id]
+        return 200, canonical_json({"id": standing.id, "removed": True}), {}
 
 
 class GatewayServer:

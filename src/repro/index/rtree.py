@@ -58,6 +58,11 @@ class RTree:
             raise ValueError("mbrs must be a non-empty array of shape (n, d, 2)")
         if leaf_capacity < 2 or fanout < 2:
             raise ValueError("leaf_capacity and fanout must both be at least 2")
+        # The caller keeps ownership of ``mbrs`` (it is typically a database's
+        # shared MBR cache): hold a read-only view so incremental ``update``
+        # copies before its first in-place write instead of corrupting it.
+        mbrs = mbrs.view()
+        mbrs.flags.writeable = False
         self.mbrs = mbrs
         self.leaf_capacity = leaf_capacity
         self.fanout = fanout
@@ -118,6 +123,165 @@ class RTree:
                 for group in order
             ]
         return nodes[0]
+
+    # ------------------------------------------------------------------ #
+    # incremental maintenance
+    # ------------------------------------------------------------------ #
+    def insert(self, mbr: np.ndarray) -> int:
+        """Insert a new object MBR at the next position; returns its index.
+
+        Classic least-enlargement descent with node splits propagating to the
+        root.  The incremental tree's *shape* may differ from a freshly
+        bulk-loaded one, but every query is shape-independent: node MBRs stay
+        conservative unions of their descendants, and both ``range_query``
+        and ``knn_candidates`` return sets defined purely by object MBRs
+        (intersection, and MinDist against the exact k-th smallest MaxDist).
+        """
+        mbr = self._check_mbr(mbr)
+        index = int(self.mbrs.shape[0])
+        self.mbrs = np.concatenate([self.mbrs, mbr[None, ...]], axis=0)
+        split = self._insert_entry(self.root, mbr, index)
+        if split is not None:
+            self.root = RTreeNode(
+                mbr=_combine_mbrs(np.stack([self.root.mbr, split.mbr])),
+                children=[self.root, split],
+            )
+        return index
+
+    def delete(self, index: int) -> None:
+        """Remove the object at ``index``; later indices shift down by one.
+
+        The entry's leaf loses it, ancestors re-tighten their MBRs to the
+        exact union of what remains, emptied nodes are pruned, and a root
+        left with a single child collapses.  Matches
+        ``UncertainDatabase.delete`` position semantics: all entries above
+        ``index`` are renumbered down by one.
+        """
+        if not 0 <= index < self.mbrs.shape[0]:
+            raise IndexError(f"index {index} out of range")
+        if self.mbrs.shape[0] == 1:
+            raise ValueError("cannot delete the last entry of an R-tree")
+        if not self._delete_entry(self.root, index):  # pragma: no cover
+            raise RuntimeError(f"entry {index} missing from the R-tree")
+        while not self.root.is_leaf and len(self.root.children) == 1:
+            self.root = self.root.children[0]
+        for node in self.iter_nodes():
+            if node.is_leaf and node.entries.size:
+                node.entries = node.entries - (node.entries > index)
+        self.mbrs = np.delete(self.mbrs, index, axis=0)
+
+    def update(self, index: int, mbr: np.ndarray) -> None:
+        """Replace the MBR at ``index``: remove, re-tighten, re-insert."""
+        if not 0 <= index < self.mbrs.shape[0]:
+            raise IndexError(f"index {index} out of range")
+        mbr = self._check_mbr(mbr)
+        if not self._delete_entry(self.root, index):  # pragma: no cover
+            raise RuntimeError(f"entry {index} missing from the R-tree")
+        while not self.root.is_leaf and len(self.root.children) == 1:
+            self.root = self.root.children[0]
+        mbrs = self.mbrs if self.mbrs.flags.writeable else self.mbrs.copy()
+        mbrs[index] = mbr
+        self.mbrs = mbrs
+        split = self._insert_entry(self.root, mbr, index)
+        if split is not None:
+            self.root = RTreeNode(
+                mbr=_combine_mbrs(np.stack([self.root.mbr, split.mbr])),
+                children=[self.root, split],
+            )
+
+    def _check_mbr(self, mbr: np.ndarray) -> np.ndarray:
+        mbr = np.array(mbr, dtype=float)
+        if mbr.shape != (self.dimensions, 2):
+            raise ValueError(f"mbr must have shape ({self.dimensions}, 2)")
+        return mbr
+
+    def _insert_entry(self, node: RTreeNode, mbr: np.ndarray, index: int):
+        """Least-enlargement descent; returns the new sibling on a split."""
+        if node.is_leaf:
+            if node.entries.size == 0:
+                node.mbr = mbr.copy()
+            else:
+                node.mbr = _combine_mbrs(np.stack([node.mbr, mbr]))
+            node.entries = np.append(node.entries, index)
+            if node.entries.size > self.leaf_capacity:
+                return self._split_leaf(node)
+            return None
+        child = min(node.children, key=lambda c: self._enlargement(c.mbr, mbr))
+        split = self._insert_entry(child, mbr, index)
+        node.mbr = _combine_mbrs(np.stack([node.mbr, mbr]))
+        if split is not None:
+            node.children.append(split)
+            if len(node.children) > self.fanout:
+                return self._split_internal(node)
+        return None
+
+    @staticmethod
+    def _enlargement(node_mbr: np.ndarray, mbr: np.ndarray) -> tuple[float, float]:
+        """(volume growth, margin growth) of taking ``mbr`` into ``node_mbr``."""
+        lows = np.minimum(node_mbr[:, 0], mbr[:, 0])
+        highs = np.maximum(node_mbr[:, 1], mbr[:, 1])
+        union_extent = highs - lows
+        extent = node_mbr[:, 1] - node_mbr[:, 0]
+        volume_growth = float(np.prod(union_extent) - np.prod(extent))
+        margin_growth = float(union_extent.sum() - extent.sum())
+        return (volume_growth, margin_growth)
+
+    def _split_leaf(self, node: RTreeNode) -> RTreeNode:
+        """Split an overflowing leaf along its widest axis; returns the sibling."""
+        entries = node.entries
+        centers = 0.5 * (self.mbrs[entries, :, 0] + self.mbrs[entries, :, 1])
+        axis = int(np.argmax(node.mbr[:, 1] - node.mbr[:, 0]))
+        order = np.argsort(centers[:, axis], kind="stable")
+        half = entries.size // 2
+        keep, move = entries[order[:half]], entries[order[half:]]
+        node.entries = keep
+        node.mbr = _combine_mbrs(self.mbrs[keep])
+        return RTreeNode(mbr=_combine_mbrs(self.mbrs[move]), entries=move)
+
+    def _split_internal(self, node: RTreeNode) -> RTreeNode:
+        """Split an overflowing internal node along its widest axis."""
+        child_mbrs = np.stack([child.mbr for child in node.children])
+        centers = 0.5 * (child_mbrs[..., 0] + child_mbrs[..., 1])
+        axis = int(np.argmax(node.mbr[:, 1] - node.mbr[:, 0]))
+        order = np.argsort(centers[:, axis], kind="stable")
+        half = len(node.children) // 2
+        keep = [node.children[i] for i in order[:half]]
+        move = [node.children[i] for i in order[half:]]
+        node.children = keep
+        node.mbr = _combine_mbrs(np.stack([child.mbr for child in keep]))
+        return RTreeNode(
+            mbr=_combine_mbrs(np.stack([child.mbr for child in move])), children=move
+        )
+
+    def _delete_entry(self, node: RTreeNode, index: int) -> bool:
+        """Remove ``index`` below ``node``, re-tightening MBRs on the way out."""
+        target = self.mbrs[index]
+        if node.is_leaf:
+            positions = np.nonzero(node.entries == index)[0]
+            if positions.size == 0:
+                return False
+            node.entries = np.delete(node.entries, positions[0])
+            if node.entries.size:
+                node.mbr = _combine_mbrs(self.mbrs[node.entries])
+            return True
+        for child in node.children:
+            contains = bool(
+                np.all(child.mbr[:, 0] <= target[:, 0])
+                and np.all(child.mbr[:, 1] >= target[:, 1])
+            )
+            if not contains:
+                continue
+            if self._delete_entry(child, index):
+                if (child.is_leaf and child.entries.size == 0) or (
+                    not child.is_leaf and not child.children
+                ):
+                    node.children.remove(child)
+                if node.children:
+                    node.mbr = _combine_mbrs(
+                        np.stack([c.mbr for c in node.children])
+                    )
+                return True
+        return False
 
     # ------------------------------------------------------------------ #
     # queries

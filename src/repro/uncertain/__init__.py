@@ -1,6 +1,6 @@
 """Uncertainty model: uncertain objects, databases, decomposition and sampling."""
 
-from .base import UncertainDatabase, UncertainObject
+from .base import Delete, Insert, Mutation, Update, UncertainDatabase, UncertainObject
 from .continuous import BoxUniformObject, MixtureObject, TruncatedGaussianObject
 from .discrete import DiscreteObject, PointObject
 from .histogram import HistogramObject
@@ -20,21 +20,31 @@ from .sampling import (
     sample_database,
 )
 from .sharedmem import (
+    MutationDelta,
+    MutationDeltaExport,
     SharedDatabaseExport,
     SharedDatabaseHandle,
     attach_shared_database,
     database_transport,
+    load_delta_mutations,
     shared_memory_available,
 )
 
 __all__ = [
+    "MutationDelta",
+    "MutationDeltaExport",
     "SharedDatabaseExport",
     "SharedDatabaseHandle",
     "attach_shared_database",
     "database_transport",
+    "load_delta_mutations",
     "shared_memory_available",
     "UncertainDatabase",
     "UncertainObject",
+    "Insert",
+    "Update",
+    "Delete",
+    "Mutation",
     "BoxUniformObject",
     "MixtureObject",
     "TruncatedGaussianObject",

@@ -33,7 +33,8 @@ from __future__ import annotations
 
 import abc
 import threading
-from typing import TYPE_CHECKING, Optional, Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Sequence, Union
 
 import numpy as np
 
@@ -124,12 +125,59 @@ class UncertainObject(abc.ABC):
         return f"{type(self).__name__}(label={name!r}, mbr={self.mbr.to_array().tolist()})"
 
 
+@dataclass(frozen=True)
+class Insert:
+    """Append ``obj`` at the end of the database.
+
+    ``generation`` is normally left ``None`` and assigned by
+    :meth:`UncertainDatabase.resolve_mutations`; a resolved mutation carries
+    the explicit value so replaying it in another process yields bit-identical
+    versioning state (worker caches key columns by ``(position, generation)``).
+    """
+
+    obj: UncertainObject
+    generation: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class Update:
+    """Replace the object at ``position`` with ``obj`` (fresh generation)."""
+
+    position: int
+    obj: UncertainObject
+    generation: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class Delete:
+    """Remove the object at ``position``; later objects shift down by one."""
+
+    position: int
+
+
+Mutation = Union[Insert, Update, Delete]
+
+
 class UncertainDatabase:
-    """An ordered collection of uncertain objects.
+    """An ordered collection of uncertain objects, versioned by snapshots.
 
     The database is the unit that queries and the IDCA algorithm operate on.
     Objects are addressed by their integer position; an optional string label
     per object is kept for reporting.
+
+    Each database instance is an immutable *snapshot*: :meth:`insert`,
+    :meth:`update`, :meth:`delete` and :meth:`apply` never modify ``self`` but
+    return a new snapshot that shares the untouched :class:`UncertainObject`
+    instances (and their array payloads) with its parent.  Snapshots carry two
+    pieces of versioning state:
+
+    * a database-level **epoch** — incremented once per :meth:`apply` call —
+      which layers above use for snapshot visibility ("a query admitted at
+      epoch E sees exactly snapshot E");
+    * a per-object **generation counter**, globally unique within a snapshot
+      lineage, which the shared bounds store folds into its
+      process-independent keys so that only columns touching a mutated object
+      change identity (see :func:`repro.engine.boundstore.stable_object_key`).
     """
 
     def __init__(self, objects: Sequence[UncertainObject]):
@@ -144,6 +192,13 @@ class UncertainDatabase:
         self._shared_export: Optional["SharedDatabaseExport"] = None
         self._share_lock = threading.Lock()
         self._position_by_id: Optional[dict[int, int]] = None
+        # Versioning state.  A freshly constructed database is epoch 0 with
+        # per-object generations 0..n-1: generations are unique per object
+        # within a lineage, so a (position, generation) pair never aliases two
+        # different object contents even after deletes shift positions.
+        self._epoch: int = 0
+        self._generations: list[int] = list(range(len(self._objects)))
+        self._next_generation: int = len(self._objects)
 
     # ------------------------------------------------------------------ #
     # process transport
@@ -164,7 +219,17 @@ class UncertainDatabase:
             from .sharedmem import attach_shared_database
 
             return (attach_shared_database, (export.handle,))
-        return (_rebuild_database, (type(self), tuple(self._objects), self._mbr_cache))
+        return (
+            _rebuild_database,
+            (
+                type(self),
+                tuple(self._objects),
+                self._mbr_cache,
+                self._epoch,
+                tuple(self._generations),
+                self._next_generation,
+            ),
+        )
 
     def share_memory(self) -> "SharedDatabaseExport":
         """Move the database's array payload into a shared-memory block.
@@ -206,11 +271,12 @@ class UncertainDatabase:
         return self._objects
 
     def position_of(self, obj: UncertainObject) -> Optional[int]:
-        """Database position of ``obj``, or ``None`` for non-members.
+        """Database position of ``obj``, or ``None`` for non-members — O(1).
 
         Membership is by identity (the same semantics the engine's caches
-        use); the identity map is built once and stays valid because
-        databases are immutable after construction.  The shared bounds
+        use); the identity map is built once per snapshot and stays valid
+        because snapshots are immutable — :meth:`apply` hands the *new*
+        snapshot a maintained copy instead of re-scanning.  The shared bounds
         store uses positions as the process-independent part of its keys —
         positions are identical in every process that received this
         database, whether it was pickled or mapped through shared memory.
@@ -220,6 +286,130 @@ class UncertainDatabase:
                 id(member): index for index, member in enumerate(self._objects)
             }
         return self._position_by_id.get(id(obj))
+
+    # ------------------------------------------------------------------ #
+    # versioning
+    # ------------------------------------------------------------------ #
+    @property
+    def epoch(self) -> int:
+        """Snapshot epoch: 0 for a fresh database, +1 per :meth:`apply`."""
+        return self._epoch
+
+    def generations(self) -> tuple[int, ...]:
+        """Per-object generation counters, aligned with positions."""
+        return tuple(self._generations)
+
+    def generation_of(self, position: int) -> int:
+        """Generation counter of the object at ``position``."""
+        return self._generations[position]
+
+    def resolve_mutations(self, mutations: Sequence[Mutation]) -> tuple[Mutation, ...]:
+        """Assign explicit generation counters to a mutation batch.
+
+        Returns a tuple of mutations where every :class:`Insert` /
+        :class:`Update` carries a concrete ``generation``.  Applying a
+        *resolved* batch is fully deterministic, so the service can resolve
+        once in the parent and replay the identical batch in every worker —
+        generations (and therefore the shared-store keys derived from them)
+        agree bit-for-bit across processes.  Positions inside the batch are
+        interpreted sequentially: each mutation addresses the database state
+        produced by the mutations before it in the list.
+        """
+        resolved: list[Mutation] = []
+        clock = self._next_generation
+        for mutation in mutations:
+            if isinstance(mutation, Insert):
+                if mutation.generation is None:
+                    mutation = Insert(mutation.obj, clock)
+                clock = max(clock, mutation.generation + 1)
+            elif isinstance(mutation, Update):
+                if mutation.generation is None:
+                    mutation = Update(mutation.position, mutation.obj, clock)
+                clock = max(clock, mutation.generation + 1)
+            elif not isinstance(mutation, Delete):
+                raise TypeError(f"not a mutation: {mutation!r}")
+            resolved.append(mutation)
+        return tuple(resolved)
+
+    def apply(self, mutations: Sequence[Mutation]) -> "UncertainDatabase":
+        """Apply a mutation batch, returning the next snapshot (epoch + 1).
+
+        The returned database shares every untouched object (and its array
+        payload) with ``self``; only the touched positions change identity.
+        ``self`` is left fully usable — in-flight queries against the old
+        snapshot keep seeing exactly the old content.  Mutations are applied
+        sequentially, so positions address the intermediate state produced by
+        the earlier entries of the batch.  Raises ``IndexError`` for
+        out-of-range positions and ``ValueError`` when the batch would leave
+        the database empty or mix dimensionalities.
+        """
+        resolved = self.resolve_mutations(mutations)
+        objects = list(self._objects)
+        generations = list(self._generations)
+        next_generation = self._next_generation
+        d = self.dimensions
+        for mutation in resolved:
+            if isinstance(mutation, Delete):
+                if not 0 <= mutation.position < len(objects):
+                    raise IndexError(
+                        f"delete position {mutation.position} out of range"
+                    )
+                del objects[mutation.position]
+                del generations[mutation.position]
+                continue
+            if mutation.obj.dimensions != d:
+                raise ValueError("all objects must share the same dimensionality")
+            if isinstance(mutation, Insert):
+                objects.append(mutation.obj)
+                generations.append(mutation.generation)
+            else:  # Update
+                if not 0 <= mutation.position < len(objects):
+                    raise IndexError(
+                        f"update position {mutation.position} out of range"
+                    )
+                objects[mutation.position] = mutation.obj
+                generations[mutation.position] = mutation.generation
+            next_generation = max(next_generation, mutation.generation + 1)
+        if not objects:
+            raise ValueError("an uncertain database must contain at least one object")
+
+        snapshot = UncertainDatabase.__new__(UncertainDatabase)
+        snapshot._objects = objects
+        snapshot._shared_export = None
+        snapshot._share_lock = threading.Lock()
+        snapshot._epoch = self._epoch + 1
+        snapshot._generations = generations
+        snapshot._next_generation = next_generation
+        # Maintain the O(1) position index and the stacked-MBR cache
+        # incrementally: untouched objects reuse their cached MBR row.
+        snapshot._position_by_id = {id(obj): i for i, obj in enumerate(objects)}
+        snapshot._mbr_cache = None
+        if self._mbr_cache is not None:
+            old_rows = self.position_of  # identity → old position, O(1) each
+            rows = np.empty((len(objects), d, 2), dtype=float)
+            for i, obj in enumerate(objects):
+                j = old_rows(obj)
+                if j is not None:
+                    rows[i] = self._mbr_cache[j]
+                else:
+                    mbr = obj.mbr
+                    rows[i, :, 0] = mbr.lows
+                    rows[i, :, 1] = mbr.highs
+            rows.flags.writeable = False
+            snapshot._mbr_cache = rows
+        return snapshot
+
+    def insert(self, obj: UncertainObject) -> "UncertainDatabase":
+        """Snapshot with ``obj`` appended (see :meth:`apply`)."""
+        return self.apply([Insert(obj)])
+
+    def update(self, position: int, obj: UncertainObject) -> "UncertainDatabase":
+        """Snapshot with the object at ``position`` replaced (see :meth:`apply`)."""
+        return self.apply([Update(position, obj)])
+
+    def delete(self, position: int) -> "UncertainDatabase":
+        """Snapshot with the object at ``position`` removed (see :meth:`apply`)."""
+        return self.apply([Delete(position)])
 
     @property
     def dimensions(self) -> int:
@@ -232,8 +422,11 @@ class UncertainDatabase:
     def mbrs(self) -> np.ndarray:
         """All object MBRs stacked into an array of shape ``(n, d, 2)``.
 
-        The array is cached; databases are treated as immutable after
-        construction.
+        The array is cached per snapshot; :meth:`apply` patches the cache
+        incrementally (touched rows only) instead of re-stacking.  The
+        returned array is read-only — the cache is shared between every
+        caller (and between snapshots that reuse rows), so an in-place
+        write would silently corrupt the snapshot for everyone else.
         """
         if self._mbr_cache is None:
             n, d = len(self._objects), self.dimensions
@@ -242,6 +435,7 @@ class UncertainDatabase:
                 mbr = obj.mbr
                 arr[i, :, 0] = mbr.lows
                 arr[i, :, 1] = mbr.highs
+            arr.flags.writeable = False
             self._mbr_cache = arr
         return self._mbr_cache
 
@@ -253,8 +447,13 @@ class UncertainDatabase:
         ]
 
 
-def _rebuild_database(cls, objects, mbr_cache):
+def _rebuild_database(cls, objects, mbr_cache, epoch=0, generations=None, next_generation=None):
     """Unpickle target of the plain (non-shared-memory) database reduce."""
     database = cls(list(objects))
     database._mbr_cache = mbr_cache
+    database._epoch = epoch
+    if generations is not None:
+        database._generations = list(generations)
+    if next_generation is not None:
+        database._next_generation = next_generation
     return database

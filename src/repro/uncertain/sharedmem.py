@@ -70,10 +70,13 @@ except ImportError:  # pragma: no cover - platforms without POSIX shm
 
 __all__ = [
     "MIN_SHARED_NBYTES",
+    "MutationDelta",
+    "MutationDeltaExport",
     "SharedDatabaseExport",
     "SharedDatabaseHandle",
     "attach_shared_database",
     "database_transport",
+    "load_delta_mutations",
     "shared_memory_available",
     "unlink_block",
 ]
@@ -416,6 +419,126 @@ def attach_shared_database(handle: SharedDatabaseHandle) -> "UncertainDatabase":
     database._shm_name = handle.shm_name
     _ATTACHMENTS[handle.shm_name] = (shm, database)
     return database
+
+
+@dataclass(frozen=True)
+class MutationDelta:
+    """A mutation batch in transport form: touched objects only.
+
+    Shipping the batch — rather than re-exporting the whole database block —
+    is what keeps mutations cheap on the worker path: the payload scales with
+    the number of touched objects, not with the database.  ``shell`` is a
+    pickle of the *resolved* mutation tuple (explicit generations, see
+    :meth:`UncertainDatabase.resolve_mutations`); when ``shm_name`` is set,
+    large arrays of the touched objects were extracted into their own small
+    shared block and the shell references them by descriptor, exactly like
+    :class:`SharedDatabaseHandle`.  Replaying a delta is idempotent by epoch:
+    it applies only to a database at ``base_epoch`` and advances it to
+    ``new_epoch``, so a respawned worker that already replayed it skips it.
+    """
+
+    base_epoch: int
+    new_epoch: int
+    shell: bytes
+    shm_name: Optional[str]
+    descriptors: tuple[tuple[int, tuple[int, ...], str], ...]
+
+
+class MutationDeltaExport:
+    """Parent-side owner of one mutation delta (and its block, if any).
+
+    Built from a database snapshot and the resolved mutation batch that
+    advances it.  The export must stay alive while any worker might still
+    attach the delta's block — the worker pool keeps its deltas for lane
+    respawns, and releases them when it shuts down.  Falls back to a plain
+    inline pickle when shared memory is unavailable or nothing qualifies for
+    extraction.
+    """
+
+    def __init__(self, database: "UncertainDatabase", mutations) -> None:
+        arrays: list[np.ndarray] = []
+        buffer = io.BytesIO()
+        _ArrayExtractor(buffer, arrays).dump(tuple(mutations))
+        shm_name: Optional[str] = None
+        descriptors: tuple = ()
+        self._shm = None
+        self._finalizer = None
+        if arrays and shared_memory_available():
+            offsets, total = _layout(arrays)
+            self._shm = _shared_memory.SharedMemory(
+                create=True, size=max(total, 8), name=_next_block_name()
+            )
+            try:
+                for arr, offset in zip(arrays, offsets):
+                    np.ndarray(
+                        arr.shape, dtype=arr.dtype, buffer=self._shm.buf, offset=offset
+                    )[...] = arr
+            except BaseException:  # pragma: no cover - copy failures are fatal
+                _cleanup_block(self._shm)
+                raise
+            shm_name = self._shm.name
+            descriptors = tuple(
+                (offset, arr.shape, arr.dtype.str)
+                for arr, offset in zip(arrays, offsets)
+            )
+            _OWNED_NAMES.add(shm_name)
+            self._finalizer = weakref.finalize(self, _cleanup_block, self._shm)
+        else:
+            # Inline path: re-pickle without extraction so the shell is
+            # self-contained (plain pickle.loads on the worker side).
+            buffer = io.BytesIO()
+            pickle.Pickler(buffer, protocol=pickle.HIGHEST_PROTOCOL).dump(
+                tuple(mutations)
+            )
+        self.delta = MutationDelta(
+            base_epoch=database.epoch,
+            new_epoch=database.epoch + 1,
+            shell=buffer.getvalue(),
+            shm_name=shm_name,
+            descriptors=descriptors,
+        )
+
+    def close(self) -> None:
+        """Unlink the delta's block, if one was created (idempotent)."""
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
+        if self._shm is not None:
+            _cleanup_block(self._shm)
+            self._shm = None
+
+
+# Delta blocks a receiving process has mapped, kept alive for the process
+# lifetime: the unpickled objects hold read-only views into the mapping.
+_DELTA_ATTACHMENTS: dict[str, object] = {}
+
+
+def load_delta_mutations(delta: MutationDelta):
+    """Rebuild the resolved mutation tuple from a delta in this process.
+
+    On the shared-memory path the touched objects' arrays are mapped
+    read-only from the delta's block; on the inline path the shell is a
+    self-contained pickle.
+    """
+    if delta.shm_name is None:
+        return pickle.loads(delta.shell)
+    shm = _DELTA_ATTACHMENTS.get(delta.shm_name)
+    if shm is None:
+        try:
+            shm = _attach_block(delta.shm_name)
+        except FileNotFoundError as error:
+            raise RuntimeError(
+                f"mutation-delta block {delta.shm_name!r} no longer exists — "
+                "deltas are transport tokens, only valid while the owning "
+                "MutationDeltaExport is alive"
+            ) from error
+        _DELTA_ATTACHMENTS[delta.shm_name] = shm
+    arrays: list[np.ndarray] = []
+    for offset, shape, dtype in delta.descriptors:
+        view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf, offset=offset)
+        view.flags.writeable = False
+        arrays.append(view)
+    return _ShellUnpickler(io.BytesIO(delta.shell), arrays).load()
 
 
 def database_transport(database: "UncertainDatabase") -> str:

@@ -232,9 +232,9 @@ def test_env_kill_switch(monkeypatch):
 # --------------------------------------------------------------------- #
 # stable keys
 # --------------------------------------------------------------------- #
-def test_database_members_key_by_position(database):
-    assert stable_object_key(database, database[7]) == ("db", 7)
-    assert stable_object_key(database, database[0]) == ("db", 0)
+def test_database_members_key_by_position_and_generation(database):
+    assert stable_object_key(database, database[7]) == ("db", 7, 7)
+    assert stable_object_key(database, database[0]) == ("db", 0, 0)
 
 
 def test_ad_hoc_objects_key_by_content_digest(database, queries):
