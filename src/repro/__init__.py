@@ -117,7 +117,7 @@ from .engine import (
     ServiceBatch,
 )
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     # core

@@ -90,9 +90,19 @@ class TieredPairBoundsCache(CacheStats):
         self.shared_hits = 0
         self.shared_misses = 0
         self.shared_publishes = 0
+        self.claim_waits = 0
 
     def get(self, key, default=None):
-        """Tiered lookup: local dict first, then the shared store."""
+        """Tiered lookup: local dict first, then the shared store.
+
+        On a shared miss by a *writable* client the store's claim protocol
+        runs: the client claims the key (announcing it will compute the
+        column) — unless another live worker already holds the claim, in
+        which case this worker briefly waits for that worker's publish
+        instead of duplicating the kernel work.  A timed-out wait falls
+        through to local compute, so claims never stall a batch; the claim
+        itself is released when :meth:`__setitem__` publishes.
+        """
         value = dict.get(self, key, default)
         if value is not default:
             self.hits += 1
@@ -102,6 +112,11 @@ class TieredPairBoundsCache(CacheStats):
             encoded = self._context.stable_pair_key(key)
             if encoded is not None:
                 entry = store.get(encoded)
+                if entry is None and store.claims_enabled and store.writable:
+                    if store.claim(encoded) == "held":
+                        entry = store.wait_for(encoded)
+                        if entry is not None:
+                            self.claim_waits += 1
                 if entry is not None:
                     self.shared_hits += 1
                     # install locally so hot keys stay in tier 1, evicting
@@ -115,13 +130,24 @@ class TieredPairBoundsCache(CacheStats):
         return default
 
     def __setitem__(self, key, value) -> None:
-        """Insert locally and publish the column to the shared store."""
+        """Insert locally, publish to the shared store, release any claim."""
         dict.__setitem__(self, key, value)
         store = self._context.shared_store
-        if store is not None and store.writable:
+        if store is None:
+            return
+        encoded = None
+        if store.writable:
             encoded = self._context.stable_pair_key(key)
             if encoded is not None and store.put(encoded, value[0], value[1]):
                 self.shared_publishes += 1
+        if store.claims_enabled and not store.demoted:
+            # idempotent: only an entry carrying this pid is cleared, so
+            # releasing keys that were never claimed (local hits that
+            # re-enter, failed publishes) is safe
+            if encoded is None:
+                encoded = self._context.stable_pair_key(key)
+            if encoded is not None:
+                store.release(encoded)
 
     def reset_counters(self) -> None:
         """Zero all hit/miss/publish counters (cache contents untouched)."""
@@ -130,6 +156,7 @@ class TieredPairBoundsCache(CacheStats):
         self.shared_hits = 0
         self.shared_misses = 0
         self.shared_publishes = 0
+        self.claim_waits = 0
 
 
 class _RegisteringTreeCache(dict):
@@ -400,6 +427,10 @@ class RefinementContext:
             "shared_store": store is not None,
             "shared_corruptions": store.corruptions if store is not None else 0,
             "shared_degraded": bool(store is not None and store.demoted),
+            "shared_rejected": store.rejected if store is not None else 0,
+            "shared_duplicates": store.duplicates if store is not None else 0,
+            "claim_steals": store.claim_steals if store is not None else 0,
+            "claim_waits": cache.claim_waits,
         }
 
     def clear(self) -> None:

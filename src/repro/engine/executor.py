@@ -293,6 +293,14 @@ class ChunkStats:
     segment), and ``shared_degraded`` is 1 when the worker ran the chunk
     demoted to purely local memoisation (it detected corruption, or never
     managed to attach the store at all).  Both are 0 in healthy operation.
+
+    ``shared_rejected`` counts publishes the store refused (segment or index
+    full — the saturation signal the service's reclaim policy watches),
+    ``shared_duplicates`` columns this worker computed that another worker
+    had already published, ``claim_steals`` in-flight claims this worker
+    took over from a dead or lease-expired holder, and ``claim_waits``
+    columns obtained by briefly waiting on another worker's claim instead
+    of recomputing.
     """
 
     chunk: int
@@ -313,6 +321,10 @@ class ChunkStats:
     kernel_seconds: float = 0.0
     shared_corruptions: int = 0
     shared_degraded: int = 0
+    shared_rejected: int = 0
+    shared_duplicates: int = 0
+    claim_steals: int = 0
+    claim_waits: int = 0
 
 
 @dataclass(frozen=True)
@@ -435,6 +447,31 @@ class BatchReport:
         return sum(stats.shared_publishes for stats in self.chunks)
 
     @property
+    def shared_rejected(self) -> int:
+        """Publishes the store rejected (segment or index full), all workers.
+
+        The saturation-pressure signal the service's reclaim policy watches:
+        a non-zero count after a batch means some worker wanted to publish
+        and could not, so recycling a segment would restore shared caching.
+        """
+        return sum(stats.shared_rejected for stats in self.chunks)
+
+    @property
+    def shared_duplicates(self) -> int:
+        """Columns computed twice and deduplicated at publish, all workers."""
+        return sum(stats.shared_duplicates for stats in self.chunks)
+
+    @property
+    def claim_steals(self) -> int:
+        """Claims taken over from dead or lease-expired holders, all workers."""
+        return sum(stats.claim_steals for stats in self.chunks)
+
+    @property
+    def claim_waits(self) -> int:
+        """Columns obtained by waiting on another worker's claim, all workers."""
+        return sum(stats.claim_waits for stats in self.chunks)
+
+    @property
     def kernel_seconds(self) -> float:
         """Wall-clock spent inside the CSR pair-bounds kernel, all workers."""
         return sum(stats.kernel_seconds for stats in self.chunks)
@@ -529,6 +566,10 @@ class BatchReport:
             "shared_publishes": self.shared_publishes,
             "shared_hit_rate": self.shared_hit_rate,
             "shared_corruptions": self.shared_corruptions,
+            "shared_rejected": self.shared_rejected,
+            "shared_duplicates": self.shared_duplicates,
+            "claim_steals": self.claim_steals,
+            "claim_waits": self.claim_waits,
             "degraded_workers": self.degraded_workers,
             "worker_respawns": self.worker_respawns,
             "chunk_retries": self.chunk_retries,
@@ -876,6 +917,12 @@ def run_chunk_on_engine(
         shared_degraded=int(
             _WORKER_STORE_DEGRADED or after.get("shared_degraded", False)
         ),
+        shared_rejected=after.get("shared_rejected", 0)
+        - before.get("shared_rejected", 0),
+        shared_duplicates=after.get("shared_duplicates", 0)
+        - before.get("shared_duplicates", 0),
+        claim_steals=after.get("claim_steals", 0) - before.get("claim_steals", 0),
+        claim_waits=after.get("claim_waits", 0) - before.get("claim_waits", 0),
     )
     return results, stats
 

@@ -88,7 +88,13 @@ from ..uncertain.sharedmem import (
     SharedDatabaseExport,
     shared_memory_available,
 )
-from .boundstore import SharedBoundStore, bound_store_available
+from .boundstore import (
+    DEFAULT_CLAIMS,
+    SharedBoundStore,
+    bound_store_available,
+    config_fingerprint,
+    database_digest,
+)
 from .errors import (
     DeadlineExceeded,
     ServiceClosedError,
@@ -293,6 +299,36 @@ class QueryService:
         Seconds past a batch's deadline before the wall-clock watchdog
         SIGKILLs and respawns lanes still holding its chunks (default 2.0).
         Only armed for batches submitted with a deadline.
+    bounds_store_path / bounds_store_name:
+        Persistence knobs for the shared bounds store (mutually exclusive).
+        ``bounds_store_path`` opens a disk-backed mmap at that path —
+        surviving service restarts *and* reboots; ``bounds_store_name``
+        attaches (or creates) a stable-named shared-memory block that
+        survives restarts while the host stays up.  Either way the store
+        carries a content handshake (database digest + axis-policy
+        fingerprint): a matching previous incarnation is **warm-started**
+        (its published columns serve from the first batch), while a
+        truncated, torn or mismatched backing is discarded and rebuilt from
+        empty — never served (``bound_store_stats()["rejected_store"]``
+        reports why).  Persistent backings outlive :meth:`close`; delete
+        them via ``SharedBoundStore.destroy`` or the filesystem.
+    store_claims:
+        Enable claim leases on the shared store (default ``True``): a
+        worker announces a column before computing it so concurrent workers
+        wait briefly instead of duplicating the kernel work, and claims of
+        crashed workers are stolen after a short lease.  ``False`` builds
+        the store without a claim table (the PR-5 behaviour).
+    store_reclaim:
+        Enable generation-based segment recycling (default ``True``): when
+        a batch reports rejected publishes the dispatcher retires one
+        segment (round-robin) so publishing resumes instead of latching
+        into local memoisation, and after every mutation batch segments
+        dominated by superseded-generation columns are recycled.
+    bounds_store_options:
+        Optional dict of store-geometry overrides forwarded to
+        :class:`~repro.engine.boundstore.SharedBoundStore` (``num_slots``,
+        ``segment_bytes``, ``num_segments``, ``num_claims``) — for tests
+        and memory-constrained deployments.
 
     Example
     -------
@@ -317,6 +353,11 @@ class QueryService:
         max_pending_requests: Optional[int] = None,
         max_chunk_retries: int = DEFAULT_MAX_CHUNK_RETRIES,
         watchdog_grace: float = DEFAULT_WATCHDOG_GRACE_SECONDS,
+        bounds_store_path: Optional[str] = None,
+        bounds_store_name: Optional[str] = None,
+        store_claims: bool = True,
+        store_reclaim: bool = True,
+        bounds_store_options: Optional[dict] = None,
     ):
         from .engine import QueryEngine
 
@@ -354,16 +395,38 @@ class QueryService:
                 "shared_bounds=True but the shared bounds store is "
                 "unavailable on this platform (or disabled via environment)"
             )
+        self._store_reclaim = store_reclaim
         if use_bounds:
-            try:
+            options = dict(bounds_store_options or {})
+            num_claims = options.pop("num_claims", None)
+            if num_claims is None:
+                num_claims = DEFAULT_CLAIMS
+            if not store_claims:
+                num_claims = 0
+            store_kwargs = {
                 # one publish segment per worker lane plus a few spares for
                 # respawned workers: supervision replaces a crashed worker
                 # with a fresh process, which claims the next free segment
                 # so it can keep publishing (read access never needs one)
-                self._bound_store = SharedBoundStore(
-                    num_segments=min(255, workers + _RESPAWN_SEGMENT_SPARES),
-                    mp_context=_pool_context(self.config.start_method),
+                "num_segments": min(255, workers + _RESPAWN_SEGMENT_SPARES),
+                "mp_context": _pool_context(self.config.start_method),
+                "num_claims": num_claims,
+            }
+            store_kwargs.update(options)
+            if bounds_store_path is not None or bounds_store_name is not None:
+                # the content handshake a warm-start validates against: a
+                # persisted backing built over different data or config is
+                # rejected by the store's validation ladder
+                store_kwargs.update(
+                    path=bounds_store_path,
+                    name=bounds_store_name,
+                    content_digest=database_digest(engine.database),
+                    config_fingerprint=config_fingerprint(
+                        engine.context.axis_policy
+                    ),
                 )
+            try:
+                self._bound_store = SharedBoundStore(**store_kwargs)
             except OSError:  # pragma: no cover - e.g. /dev/shm exhausted
                 # auto-detection degrades silently; an explicit request
                 # must fail loudly rather than run without the store
@@ -453,13 +516,48 @@ class QueryService:
     def bound_store_stats(self) -> Optional[dict]:
         """Global occupancy of the shared bounds store (``None`` without one).
 
-        Filled index slots, claimed worker segments and per-segment used
-        bytes — the parent-side view; per-worker hit/publish counters live
-        in the :class:`~repro.engine.executor.BatchReport` chunk stats.
+        Filled index slots, claimed worker segments, per-segment used bytes
+        and generations, active in-flight claims, lifetime reclaim count and
+        the warm-start handshake outcome (``warm_started`` /
+        ``rejected_store``) — the parent-side view; per-worker
+        hit/publish/reject counters live in the
+        :class:`~repro.engine.executor.BatchReport` chunk stats.
         """
         if self._bound_store is None:
             return None
         return self._bound_store.stats()
+
+    @property
+    def store_warm_started(self) -> bool:
+        """Whether the bounds store adopted a previous incarnation's backing.
+
+        ``True`` only for persistent stores (``bounds_store_path`` /
+        ``bounds_store_name``) whose existing backing passed the content
+        handshake — the previous lifetime's columns serve from the first
+        batch.
+        """
+        return self._bound_store is not None and self._bound_store.warm_started
+
+    def _identity_current(self, identity) -> bool:
+        """Whether a stable object identity still names live content.
+
+        The staleness predicate behind
+        :meth:`~repro.engine.boundstore.SharedBoundStore.reclaim_stale`:
+        ``("db", position, generation)`` identities are stale once the
+        served database moved that position to a different generation (or
+        dropped it); content-keyed identities and anything unrecognised are
+        conservatively treated as current.
+        """
+        try:
+            kind, position, generation = identity
+        except (TypeError, ValueError):
+            return True
+        if kind != "db":
+            return True
+        database = self.engine.database
+        if not isinstance(position, int) or not 0 <= position < len(database):
+            return False
+        return database.generation_of(position) == generation
 
     @property
     def observed_request_seconds(self) -> Optional[float]:
@@ -787,6 +885,11 @@ class QueryService:
         # cardinality and cache warmth all changed, so adaptive chunk
         # sizing restarts from scratch at the new epoch
         self._cost_ewma = None
+        if self._bound_store is not None and self._store_reclaim:
+            # the mutation made some generations unreachable; recycle
+            # segments dominated by their columns.  Safe here: the
+            # dispatcher runs one job at a time, so no worker is publishing
+            self._bound_store.reclaim_stale(self._identity_current)
         job.future.set_result(self.engine.database.epoch)
 
     def _dispatch_loop(self) -> None:
@@ -867,6 +970,17 @@ class QueryService:
                 self._seen_pids = self._seen_pids | set(report.worker_pids)
                 self.last_batch_report = report
                 self.engine.last_batch_report = report
+                if (
+                    self._bound_store is not None
+                    and self._store_reclaim
+                    and report.shared_rejected > 0
+                ):
+                    # saturation pressure: some worker wanted to publish and
+                    # could not.  Retire one segment per batch (round-robin
+                    # over the claimed ones) so publishing resumes and the
+                    # workers' full latches release — between jobs, so no
+                    # writer is mid-publish
+                    self._bound_store.reclaim_round_robin()
                 job.future.set_result((results, report))
             finally:
                 self._job_finished(job)

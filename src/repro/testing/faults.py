@@ -12,7 +12,15 @@ all of them on demand, deterministically:
   long enough to wedge a lane past any deadline;
 * **store corruption** — :func:`corrupt_boundstore_record` scribbles over
   published record headers in a live :class:`SharedBoundStore`, so the
-  workers' validated reads must reject them;
+  workers' validated reads must reject them; :func:`truncate_store_file`
+  tears a persisted warm-start backing so the next incarnation's
+  validation ladder must reject and rebuild it;
+* **mid-protocol crashes** — the plan can SIGKILL a worker inside the
+  bounds store's publish window (``kill_during_publish`` →
+  :func:`publish_fault_hook`: an orphaned record must never be served) or
+  right after acquiring an in-flight claim (``kill_after_claim`` →
+  :func:`claim_fault_hook`: a survivor must steal the dead holder's
+  claim);
 * **shm loss** — :func:`drop_shared_block` unlinks a named block out from
   under the service, so the next attaching process (e.g. a respawned
   worker) fails and must degrade.
@@ -54,11 +62,14 @@ __all__ = [
     "FaultPlan",
     "assert_no_leaked_resources",
     "chunk_fault_hook",
+    "claim_fault_hook",
     "corrupt_boundstore_record",
     "drop_shared_block",
     "inject_faults",
     "kill_worker",
+    "publish_fault_hook",
     "snapshot_resources",
+    "truncate_store_file",
 ]
 
 #: Environment variable carrying the JSON-encoded :class:`FaultPlan`.
@@ -93,6 +104,16 @@ class FaultPlan:
     delay_seconds: float = 0.0
     delay_after_chunks: int = 0
     delay_once: bool = True
+    #: SIGKILL a worker inside the bounds store's publish window — after a
+    #: record is appended (and the cursor advanced) but *before* its index
+    #: slot is published.  Exercises the crash-during-publish path: the
+    #: orphaned record must never be served and never corrupt a successor.
+    #: Always once-guarded (an un-guarded variant would kill every worker).
+    kill_during_publish: bool = False
+    #: SIGKILL a worker immediately after it *acquires* a bounds-store
+    #: claim — leaving an in-flight claim whose holder is dead, which a
+    #: surviving worker must steal.  Always once-guarded.
+    kill_after_claim: bool = False
     marker_dir: Optional[str] = None
 
     def to_json(self) -> str:
@@ -107,8 +128,11 @@ class FaultPlan:
     @property
     def needs_markers(self) -> bool:
         """Whether any armed fault uses once-semantics (needs a marker dir)."""
-        return (self.kill_lane is not None and self.kill_once) or (
-            self.delay_lane is not None and self.delay_once
+        return (
+            (self.kill_lane is not None and self.kill_once)
+            or (self.delay_lane is not None and self.delay_once)
+            or self.kill_during_publish
+            or self.kill_after_claim
         )
 
 
@@ -175,6 +199,21 @@ def _fire_once(plan: FaultPlan, kind: str, once: bool) -> bool:
     return True
 
 
+def _plan_from_env() -> Optional[FaultPlan]:
+    """The armed plan, parsed and cached, or ``None`` when none is armed."""
+    raw = os.environ.get(FAULT_PLAN_ENV)
+    if not raw:
+        return None
+    plan = _PLAN_CACHE.get(raw)
+    if plan is None:
+        try:
+            plan = FaultPlan.from_json(raw)
+        except (TypeError, ValueError):  # malformed plan: ignore, run clean
+            plan = FaultPlan()
+        _PLAN_CACHE[raw] = plan
+    return plan
+
+
 def chunk_fault_hook(lane: Optional[int]) -> None:
     """Apply the armed :class:`FaultPlan`, if any, at a chunk boundary.
 
@@ -185,16 +224,9 @@ def chunk_fault_hook(lane: Optional[int]) -> None:
     delivers — so the supervision path under test is the production one.
     """
     global _CHUNKS_STARTED
-    raw = os.environ.get(FAULT_PLAN_ENV)
-    if not raw:
-        return
-    plan = _PLAN_CACHE.get(raw)
+    plan = _plan_from_env()
     if plan is None:
-        try:
-            plan = FaultPlan.from_json(raw)
-        except (TypeError, ValueError):  # malformed plan: ignore, run clean
-            plan = FaultPlan()
-        _PLAN_CACHE[raw] = plan
+        return
     started_before = _CHUNKS_STARTED
     _CHUNKS_STARTED += 1
     if (
@@ -209,6 +241,40 @@ def chunk_fault_hook(lane: Optional[int]) -> None:
         and started_before >= plan.kill_after_chunks
         and _fire_once(plan, "kill", plan.kill_once)
     ):
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+def publish_fault_hook() -> None:
+    """SIGKILL this worker inside the bounds store's publish window.
+
+    Called by ``BoundStoreClient.put`` — only when :data:`FAULT_PLAN_ENV`
+    is set — after the record is appended and the segment cursor advanced,
+    but *before* the index slot is published and before the writer lock is
+    taken (a kill while holding the lock would wedge every other worker,
+    which is a different fault than the one under test).  The crash leaves
+    an orphaned record: the chaos suite asserts it is never served and
+    never corrupts a successor's appends.
+    """
+    plan = _plan_from_env()
+    if plan is None or not plan.kill_during_publish:
+        return
+    if _fire_once(plan, "publish-kill", True):
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+def claim_fault_hook() -> None:
+    """SIGKILL this worker right after it acquired a bounds-store claim.
+
+    Called by ``BoundStoreClient.claim`` — only when :data:`FAULT_PLAN_ENV`
+    is set — after the claim entry is published and the writer lock
+    released.  The crash leaves an in-flight claim with a dead holder; the
+    chaos suite asserts a surviving worker *steals* it (dead-pid check, or
+    lease expiry) and the column is still published exactly once.
+    """
+    plan = _plan_from_env()
+    if plan is None or not plan.kill_after_claim:
+        return
+    if _fire_once(plan, "claim-kill", True):
         os.kill(os.getpid(), signal.SIGKILL)
 
 
@@ -276,6 +342,7 @@ def corrupt_boundstore_record(store: "SharedBoundStore", max_records: int = 1) -
     records corrupted.
     """
     from ..engine.boundstore import (
+        _CLAIM_BYTES,
         _HEADER_BYTES,
         _PRESENT,
         _SLOT_BYTES,
@@ -283,20 +350,37 @@ def corrupt_boundstore_record(store: "SharedBoundStore", max_records: int = 1) -
 
     handle = store.handle
     buf = store._shm.buf
-    segments_offset = _HEADER_BYTES + handle.num_slots * _SLOT_BYTES
+    segments_offset = (
+        _HEADER_BYTES
+        + handle.num_slots * _SLOT_BYTES
+        + handle.num_claims * _CLAIM_BYTES
+    )
     corrupted = 0
     for slot in range(handle.num_slots):
         if max_records is not None and corrupted >= max_records:
             break
         (word,) = struct.unpack_from("<Q", buf, _HEADER_BYTES + _SLOT_BYTES * slot)
         if not word & _PRESENT:
-            continue
+            continue  # empty slots and reclaim tombstones reference nothing
         segment = (word >> 32) & 0xFF
         offset = word & 0xFFFFFFFF
         base = segments_offset + segment * handle.segment_bytes + offset
         struct.pack_into("<I", buf, base, 0xDEADBEEF)  # clobber the magic
         corrupted += 1
     return corrupted
+
+
+def truncate_store_file(path: str, keep_bytes: int = 64) -> int:
+    """Truncate a persisted (disk-backed) bounds-store file in place.
+
+    Simulates a torn write / partial copy / full-disk incident on the
+    warm-start backing: the next service that opens ``path`` must detect
+    the truncation through the store's validation ladder and rebuild from
+    empty — never serve the torn file.  Returns the resulting file size.
+    """
+    with open(path, "r+b") as backing:
+        backing.truncate(keep_bytes)
+    return os.path.getsize(path)
 
 
 def drop_shared_block(name: str) -> bool:

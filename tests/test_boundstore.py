@@ -23,7 +23,10 @@ The contract under test (``repro/engine/boundstore.py`` plus its consumers):
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 import pickle
+import struct
 import threading
 
 import numpy as np
@@ -45,6 +48,8 @@ from repro.engine.boundstore import (
     BoundStoreClient,
     SharedBoundStore,
     bound_store_available,
+    config_fingerprint,
+    database_digest,
     encode_stable_key,
     stable_object_key,
 )
@@ -554,6 +559,431 @@ def test_repeated_batches_hit_store_and_stay_identical(
                 assert report.shared_hit_rate >= 0.5
         stats = service.bound_store_stats()
         assert stats["filled_slots"] > 0
+
+
+# --------------------------------------------------------------------- #
+# claim leases: in-flight computation markers
+# --------------------------------------------------------------------- #
+def _forge_claim(store, key: bytes, pid: int, age_seconds: float) -> None:
+    """Plant a claim entry as if ``pid`` acquired ``key`` ``age`` ago."""
+    import time
+
+    from repro.engine.boundstore import (
+        _CLAIM_BYTES,
+        _HEADER_BYTES,
+        _SLOT_BYTES,
+        _fingerprint,
+    )
+
+    handle = store.handle
+    fingerprint = _fingerprint(key)
+    offset = (
+        _HEADER_BYTES
+        + handle.num_slots * _SLOT_BYTES
+        + _CLAIM_BYTES * (fingerprint % handle.num_claims)
+    )
+    struct.pack_into(
+        "<QIId", store._shm.buf, offset, fingerprint, pid, 0,
+        time.monotonic() - age_seconds,
+    )
+
+
+def test_claims_disabled_store_fails_open():
+    with SharedBoundStore(num_slots=256, num_segments=1, num_claims=0) as store:
+        client = BoundStoreClient.from_handle(store.handle)
+        assert not client.claims_enabled
+        assert client.claim(_key(0)) == "acquired"
+        assert not client.release(_key(0))
+
+
+def test_claim_acquire_refresh_release_cycle():
+    with SharedBoundStore(num_slots=256, num_segments=1, num_claims=64) as store:
+        client = BoundStoreClient.from_handle(store.handle)
+        assert client.claims_enabled
+        assert client.claim(_key(1)) == "acquired"
+        assert store.stats()["active_claims"] == 1
+        # re-claiming our own key refreshes the lease, never conflicts
+        assert client.claim(_key(1)) == "acquired"
+        assert client.claim_acquires == 2 and client.claim_conflicts == 0
+        assert client.release(_key(1))
+        assert store.stats()["active_claims"] == 0
+        # release is idempotent and safe for never-claimed keys
+        assert not client.release(_key(1))
+        assert not client.release(_key(2))
+
+
+def test_claim_saturated_window_fails_open():
+    with SharedBoundStore(num_slots=256, num_segments=1, num_claims=8) as store:
+        client = BoundStoreClient.from_handle(store.handle)
+        for i in range(8):
+            assert client.claim(_key(i)) == "acquired"
+        assert store.stats()["active_claims"] == 8
+        # no free entry and no matching fingerprint left: fail open — the
+        # publish-time duplicate check keeps correctness, this only risks
+        # duplicate compute (exactly the pre-claims behaviour)
+        assert client.claim(_key(99)) == "acquired"
+        assert store.stats()["active_claims"] == 8
+
+
+def test_claim_of_dead_holder_is_stolen():
+    # a real (but already-exited) child pid: its claim is immediately
+    # stealable, no lease wait needed
+    child = multiprocessing.Process(target=int)
+    child.start()
+    dead_pid = child.pid
+    child.join()
+    with SharedBoundStore(num_slots=256, num_segments=1, num_claims=64) as store:
+        client = BoundStoreClient.from_handle(store.handle)
+        _forge_claim(store, _key(3), dead_pid, age_seconds=0.0)
+        assert client.claim(_key(3)) == "stolen"
+        assert client.claim_steals == 1
+        # the steal rewrote the entry to us: releasable as our own
+        assert client.release(_key(3))
+
+
+def test_claim_of_expired_lease_is_stolen():
+    # pid 1 is always alive, so only the lease age can justify the steal
+    with SharedBoundStore(num_slots=256, num_segments=1, num_claims=64) as store:
+        client = BoundStoreClient.from_handle(store.handle)
+        _forge_claim(store, _key(4), pid=1, age_seconds=10 * client.lease_seconds)
+        assert client.claim(_key(4)) == "stolen"
+        # a *fresh* lease of the same live holder is respected
+        _forge_claim(store, _key(5), pid=1, age_seconds=0.0)
+        assert client.claim(_key(5)) == "held"
+        assert client.claim_conflicts == 1
+
+
+def test_wait_for_serves_published_column_or_times_out():
+    with SharedBoundStore(num_slots=256, num_segments=1) as store:
+        client = BoundStoreClient.from_handle(store.handle)
+        assert client.wait_for(_key(6), budget=0.01) is None
+        column = np.linspace(0.0, 1.0, 5)
+        assert client.put(_key(6), column, column + 1.0)
+        got = client.wait_for(_key(6), budget=0.01)
+        assert got is not None
+        np.testing.assert_array_equal(got[0], column)
+        # polling must not inflate the shared-miss counter (only real
+        # lookups on the cache read path count)
+        assert client.misses == 0
+
+
+# --------------------------------------------------------------------- #
+# generation-based segment recycling
+# --------------------------------------------------------------------- #
+def test_reclaim_invalidates_published_columns():
+    with SharedBoundStore(num_slots=256, num_segments=1) as store:
+        writer = BoundStoreClient.from_handle(store.handle)
+        column = np.arange(6.0)
+        assert writer.put(_key(7), column, column)
+        store.reclaim_segment(0)
+        # the slot word still carries the old generation: the read-side
+        # check rejects it as stale — a miss, never corruption
+        assert writer.get(_key(7)) is None
+        assert writer.corruptions == 0 and not writer.demoted
+        assert store.stats()["segment_generations"] == [1]
+        assert store.reclaim_count == 1
+        # the recycled space is immediately publishable again
+        assert writer.put(_key(8), column, column)
+        np.testing.assert_array_equal(writer.get(_key(8))[0], column)
+
+
+def test_full_latch_resets_on_reclaim():
+    # the satellite regression: a client that latched read-only on a full
+    # store must resume publishing once the owner reclaims a segment —
+    # pre-fix the latch was permanent for the client's lifetime
+    with SharedBoundStore(num_slots=64, num_segments=1, segment_bytes=4096) as store:
+        writer = BoundStoreClient.from_handle(store.handle)
+        tiny = np.ones(1)
+        i = 0
+        while writer.writable and i < 2000:
+            writer.put(_key(i), tiny, tiny)
+            i += 1
+        assert not writer.writable
+        assert writer.rejected > 0
+        assert store.reclaim_round_robin() == 0
+        assert writer.writable
+        assert writer.put(_key(5000), tiny, tiny)
+        np.testing.assert_array_equal(writer.get(_key(5000))[0], tiny)
+
+
+def test_reclaim_round_robin_cycles_claimed_segments():
+    with SharedBoundStore(num_slots=256, num_segments=3) as store:
+        assert store.reclaim_round_robin() is None  # nothing claimed yet
+        BoundStoreClient.from_handle(store.handle)
+        BoundStoreClient.from_handle(store.handle)
+        assert [store.reclaim_round_robin() for _ in range(3)] == [0, 1, 0]
+        assert store.reclaim_count == 3
+
+
+def test_reclaim_stale_retires_superseded_generations():
+    def pair_key(i: int, gen: int) -> bytes:
+        return encode_stable_key((
+            "pb1", "round_robin",
+            (("db", i, gen), 2), (("db", i + 1, gen), 2),
+            (("pickle", "q"), 1), (2.0, "optimal"),
+        ))
+
+    def current(identity) -> bool:
+        return identity[0] != "db" or identity[2] == 1
+
+    column = np.ones(3)
+    with SharedBoundStore(num_slots=256, num_segments=2) as store:
+        stale_writer = BoundStoreClient.from_handle(store.handle)
+        fresh_writer = BoundStoreClient.from_handle(store.handle)
+        for i in range(4):
+            assert stale_writer.put(pair_key(i, gen=0), column, column)
+        for i in range(4):
+            assert fresh_writer.put(pair_key(i, gen=1), column, column)
+        # segment 0 is 100% superseded, segment 1 is 100% current
+        assert store.reclaim_stale(current) == [0]
+        assert stale_writer.get(pair_key(0, gen=0)) is None
+        assert fresh_writer.get(pair_key(0, gen=1)) is not None
+        # below the threshold nothing is reclaimed (3 of 4 still current)
+        assert stale_writer.put(pair_key(10, gen=1), column, column)
+        assert stale_writer.put(pair_key(11, gen=1), column, column)
+        assert stale_writer.put(pair_key(12, gen=1), column, column)
+        assert stale_writer.put(pair_key(13, gen=0), column, column)
+        assert store.reclaim_stale(current) == []
+
+
+# --------------------------------------------------------------------- #
+# warm-start persistence: disk files and named blocks
+# --------------------------------------------------------------------- #
+DIGEST = b"digest-one"
+CONFIG = b"config-one"
+
+
+def _file_store(path, **overrides):
+    kwargs = dict(
+        num_slots=256, num_segments=2, path=path,
+        content_digest=DIGEST, config_fingerprint=CONFIG,
+    )
+    kwargs.update(overrides)
+    return SharedBoundStore(**kwargs)
+
+
+def test_file_store_round_trips_across_restart(tmp_path):
+    path = str(tmp_path / "bounds.store")
+    lower = np.linspace(0.0, 1.0, 9)
+    upper = lower + 0.5
+    store = _file_store(path)
+    try:
+        assert not store.warm_started and store.rejected_store is None
+        writer = BoundStoreClient.from_handle(store.handle)
+        assert writer.put(_key(1), lower, upper)
+        store.reclaim_segment(1)  # the reclaim counter must persist too
+    finally:
+        store.close()
+    second = _file_store(path)
+    try:
+        assert second.warm_started and second.rejected_store is None
+        got = second.reader().get(_key(1))
+        assert got is not None
+        np.testing.assert_array_equal(got[0], lower)
+        np.testing.assert_array_equal(got[1], upper)
+        assert second.reclaim_count == 1
+        # a fresh incarnation re-claims segments from zero and appends past
+        # the warm cursor: old and new columns coexist
+        writer = BoundStoreClient.from_handle(second.handle)
+        assert writer.put(_key(2), upper, lower)
+        reader = second.reader()
+        assert reader.get(_key(1)) is not None
+        assert reader.get(_key(2)) is not None
+        assert second.stats()["warm_started"] is True
+    finally:
+        second.destroy()
+    assert not os.path.exists(path)
+
+
+def test_warm_start_clears_stale_claims(tmp_path):
+    path = str(tmp_path / "bounds.store")
+    store = _file_store(path)
+    BoundStoreClient.from_handle(store.handle).claim(_key(1))
+    assert store.stats()["active_claims"] == 1
+    store.close()
+    # the previous incarnation died without releasing: the next one must
+    # not inherit in-flight claims (their pids are meaningless now)
+    second = _file_store(path)
+    try:
+        assert second.warm_started
+        assert second.stats()["active_claims"] == 0
+    finally:
+        second.destroy()
+
+
+def _truncate(path: str, size: int) -> None:
+    with open(path, "r+b") as backing:
+        backing.truncate(size)
+
+
+def _scribble(path: str, offset: int, payload: bytes) -> None:
+    with open(path, "r+b") as backing:
+        backing.seek(offset)
+        backing.write(payload)
+
+
+def _bogus_cursor(path: str) -> None:
+    from repro.engine.boundstore import _HEADER_BYTES, _SLOT_BYTES
+
+    segments_offset = _HEADER_BYTES + 256 * _SLOT_BYTES  # num_claims=0
+    _scribble(path, segments_offset, struct.pack("<Q", 7))
+
+
+@pytest.mark.parametrize(
+    "corrupt, reason",
+    [
+        (lambda path: _truncate(path, 0), "truncated-header"),
+        (lambda path: _truncate(path, 32), "truncated-header"),
+        (lambda path: _scribble(path, 0, b"JUNK"), "bad-magic"),
+        (lambda path: _scribble(path, 4, struct.pack("<I", 99)), "version-mismatch"),
+        (lambda path: _scribble(path, 33, b"\xff"), "corrupt-header"),
+        (lambda path: _truncate(path, 4096), "truncated"),
+        (_bogus_cursor, "corrupt-segment-cursor"),
+    ],
+    ids=[
+        "empty", "truncated-header", "bad-magic", "version-mismatch",
+        "corrupt-header", "truncated", "corrupt-segment-cursor",
+    ],
+)
+def test_validation_ladder_rejects_and_rebuilds(tmp_path, corrupt, reason):
+    path = str(tmp_path / "bounds.store")
+    column = np.arange(4.0)
+    store = _file_store(path, num_claims=0)
+    try:
+        assert BoundStoreClient.from_handle(store.handle).put(
+            _key(1), column, column
+        )
+    finally:
+        store.close()
+    corrupt(path)
+    reopened = _file_store(path, num_claims=0)
+    try:
+        # the damaged backing is detected, reported and never served
+        assert not reopened.warm_started
+        assert reopened.rejected_store == reason
+        assert reopened.reader().get(_key(1)) is None
+        # the rebuilt store is fully functional
+        writer = BoundStoreClient.from_handle(reopened.handle)
+        assert writer.put(_key(2), column, column)
+        np.testing.assert_array_equal(reopened.reader().get(_key(2))[0], column)
+    finally:
+        reopened.destroy()
+
+
+def test_content_handshake_rejects_foreign_stores(tmp_path):
+    path = str(tmp_path / "bounds.store")
+    _file_store(path).close()
+    wrong_digest = _file_store(path, content_digest=b"digest-two")
+    try:
+        assert not wrong_digest.warm_started
+        assert wrong_digest.rejected_store == "digest-mismatch"
+    finally:
+        wrong_digest.close()
+    # the mismatch rebuilt the backing with the new digest; a matching
+    # reopen now warm-starts, a mismatched config still rejects
+    wrong_config = _file_store(
+        path, content_digest=b"digest-two", config_fingerprint=b"config-two"
+    )
+    try:
+        assert not wrong_config.warm_started
+        assert wrong_config.rejected_store == "config-mismatch"
+    finally:
+        wrong_config.destroy()
+
+
+def test_named_store_persists_until_destroyed():
+    name = f"repro_bs_warmtest_{os.getpid()}"
+    column = np.linspace(2.0, 3.0, 7)
+    store = SharedBoundStore(
+        num_slots=256, num_segments=1, name=name,
+        content_digest=DIGEST, config_fingerprint=CONFIG,
+    )
+    try:
+        assert store.persistent and not store.warm_started
+        assert BoundStoreClient.from_handle(store.handle).put(
+            _key(9), column, column
+        )
+    finally:
+        store.close()  # detaches only: the named block stays linked
+    second = SharedBoundStore(
+        num_slots=256, num_segments=1, name=name,
+        content_digest=DIGEST, config_fingerprint=CONFIG,
+    )
+    try:
+        assert second.warm_started
+        np.testing.assert_array_equal(second.reader().get(_key(9))[0], column)
+    finally:
+        second.destroy()  # unlinks: the next open starts cold
+    third = SharedBoundStore(
+        num_slots=256, num_segments=1, name=name,
+        content_digest=DIGEST, config_fingerprint=CONFIG,
+    )
+    try:
+        assert not third.warm_started and third.rejected_store is None
+    finally:
+        third.destroy()
+
+
+def test_database_digest_tracks_content(database):
+    same = uniform_rectangle_database(num_objects=60, max_extent=0.05, seed=0)
+    other = uniform_rectangle_database(num_objects=60, max_extent=0.05, seed=1)
+    assert database_digest(database) == database_digest(same)
+    assert database_digest(database) != database_digest(other)
+    assert len(database_digest(database)) == 16
+
+
+def test_config_fingerprint_tracks_axis_policy():
+    assert config_fingerprint("round_robin") == config_fingerprint("round_robin")
+    assert config_fingerprint("round_robin") != config_fingerprint("optimal")
+    assert config_fingerprint("round_robin") != config_fingerprint(
+        "round_robin", key_schema="pb2"
+    )
+
+
+# --------------------------------------------------------------------- #
+# saturation under a rotating query population (satellite)
+# --------------------------------------------------------------------- #
+def test_reclaim_restores_sharing_under_rotating_queries(database):
+    """A rotating population saturates a tiny index; reclaim keeps it live.
+
+    Without reclamation every client latches read-only once the 64-slot
+    index fills, so late windows never see a shared hit again.  With the
+    service's pressure-driven round-robin reclaim the store keeps retiring
+    old columns and late windows share again — and both configurations stay
+    bit-identical to the serial path throughout.
+    """
+    rng = np.random.default_rng(23)
+    rotating = [
+        random_reference_object(extent=0.05, rng=rng, label=f"rot-{i}")
+        for i in range(9)
+    ]
+    windows = [
+        [KNNQuery(q, k=3, tau=0.5, max_iterations=4) for q in rotating[i : i + 3]]
+        for i in range(0, 9, 3)
+    ]
+    serial = [_snapshot(QueryEngine(database).evaluate_many(w)) for w in windows]
+    options = {"num_slots": 64, "segment_bytes": 1 << 16}
+    last_window_hits = {}
+    reclaims = {}
+    for reclaim in (True, False):
+        with QueryService(
+            QueryEngine(database),
+            ExecutorConfig(workers=2, chunking="contiguous"),
+            store_reclaim=reclaim,
+            bounds_store_options=options,
+        ) as service:
+            hits = 0
+            for window, expected in zip(windows, serial):
+                for _ in range(3):
+                    assert _snapshot(service.evaluate_many(window)) == expected
+                    if window is windows[-1]:
+                        hits += service.last_batch_report.shared_hits
+            last_window_hits[reclaim] = hits
+            reclaims[reclaim] = service.bound_store_stats()["reclaim_count"]
+    assert reclaims[True] > 0
+    assert last_window_hits[True] > 0
+    assert reclaims[False] == 0
+    assert last_window_hits[False] == 0
 
 
 @pytest.mark.parametrize("workers", [1, 2, 4])

@@ -17,6 +17,7 @@ store-specific tests skip themselves there).
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 import threading
 import time
@@ -327,6 +328,93 @@ def test_shm_drop_degrades_respawned_worker(database, requests, serial_snapshot)
         report = service.last_batch_report
         assert report.worker_respawns >= 1
         assert report.degraded_workers >= 1
+
+
+# --------------------------------------------------------------------- #
+# claim leases under crashes: mid-protocol kills and lease steals
+# --------------------------------------------------------------------- #
+def _claim_and_hang(handle, key, claimed):
+    """Child: acquire a claim, report it, then wedge until SIGKILLed."""
+    client = BoundStoreClient.from_handle(handle)
+    client.claim(key)
+    claimed.set()
+    time.sleep(120)
+
+
+@needs_shm
+def test_dead_claimants_claim_is_stolen_and_published_once():
+    # the tentpole recovery path: a worker that published its *intent* to
+    # compute a column and was then SIGKILLed mid-compute must not block
+    # the key forever — a survivor steals the lease and publishes, once
+    context = multiprocessing.get_context(START_METHOD)
+    key = b"steal-me-0123456"
+    store = SharedBoundStore(num_slots=256, num_segments=2, mp_context=context)
+    try:
+        claimed = context.Event()
+        child = context.Process(
+            target=_claim_and_hang, args=(store.handle, key, claimed)
+        )
+        child.start()
+        assert claimed.wait(timeout=30.0)
+        kill_worker(child.pid)
+        survivor = BoundStoreClient.from_handle(store.handle)
+        # the holder is dead: no lease wait, the claim is stolen outright
+        assert survivor.claim(key) == "stolen"
+        assert survivor.claim_steals == 1
+        column = np.array([0.125, 0.625])
+        assert survivor.put(key, column, column + 0.25)
+        assert survivor.release(key)
+        # exactly one column is readable, and a re-publish is a duplicate
+        got = BoundStoreClient.from_handle(store.handle).get(key)
+        np.testing.assert_array_equal(got[0], column)
+        late = store.reader()
+        assert not late.put(key, column, column + 0.25)
+    finally:
+        store.close()
+
+
+@needs_shm
+def test_sigkill_during_publish_recovers_bit_identical(
+    database, requests, serial_snapshot
+):
+    # the crash lands *between* the record append and the index publish —
+    # the worst spot: the segment cursor has advanced but no slot points at
+    # the record.  The orphaned record must never surface (no corruption,
+    # no demotion) and the re-driven chunk keeps results bit-identical.
+    plan = FaultPlan(kill_during_publish=True)
+    with inject_faults(plan):
+        with _service(database, workers=2) as service:
+            got = _snapshot(service.evaluate_many(requests))
+            assert got == serial_snapshot
+            report = service.last_batch_report
+            assert report.worker_respawns >= 1
+            assert report.chunk_retries >= 1
+            assert report.shared_corruptions == 0
+            again = _snapshot(service.evaluate_many(requests))
+            assert again == serial_snapshot
+            follow_up = service.last_batch_report
+            assert follow_up.worker_respawns == 0
+            assert follow_up.degraded_workers == 0
+            assert follow_up.shared_corruptions == 0
+
+
+@needs_shm
+def test_sigkill_after_claim_is_stolen_by_redriven_chunk(
+    database, requests, serial_snapshot
+):
+    # the worker dies right after recording an in-flight claim: the chunk
+    # is re-driven, the replacement worker finds the dead holder's claim
+    # and steals it instead of waiting out the lease
+    plan = FaultPlan(kill_after_claim=True)
+    with inject_faults(plan):
+        with _service(database, workers=2) as service:
+            got = _snapshot(service.evaluate_many(requests))
+            assert got == serial_snapshot
+            report = service.last_batch_report
+            assert report.worker_respawns >= 1
+            assert report.claim_steals >= 1
+            assert report.shared_corruptions == 0
+            assert _snapshot(service.evaluate_many(requests)) == serial_snapshot
 
 
 # --------------------------------------------------------------------- #

@@ -386,3 +386,37 @@ def test_healthz_and_metrics_surface(shared_server):
     assert 0 < latency["p50_seconds"] <= latency["p95_seconds"] <= latency["p99_seconds"]
     assert gateway["engine"]["scheduler_steps"] > 0
     assert after["service"]["workers"] == 2
+
+
+def test_health_and_metrics_surface_store_state(shared_server):
+    """The store's lifecycle state is an operator surface (satellite).
+
+    ``/metrics`` carries the full occupancy/reclaim/persistence snapshot
+    plus the publish-reject and claim counters folded from batch reports;
+    ``/healthz`` flags degraded workers without flipping the status (the
+    service still serves correct results from local memoisation).
+    """
+    status, _headers, body = _request(shared_server, "GET", "/healthz")
+    assert status == 200
+    health = json.loads(body)
+    assert health["status"] == "ok"
+    assert health["degraded_workers"] == 0
+    assert health["degraded_store"] is False
+
+    assert _post(shared_server, "/v1/query", QUERY_DOCS[1])[0] == 200
+    metrics = json.loads(_request(shared_server, "GET", "/metrics")[2])
+    engine = metrics["gateway"]["engine"]
+    for counter in (
+        "shared_rejected", "shared_duplicates", "claim_steals", "claim_waits",
+    ):
+        assert counter in engine and engine[counter] >= 0
+    store = metrics["store"]
+    if shared_server.gateway.service.shared_bounds:
+        assert store["filled_slots"] >= 0
+        assert 0.0 <= store["occupancy"] <= 1.0
+        assert store["reclaim_count"] >= 0
+        assert store["active_claims"] >= 0
+        assert store["warm_started"] is False  # ephemeral store: cold start
+        assert store["rejected_store"] is None
+    else:  # the no-shared-memory CI leg: absent, not fabricated
+        assert store is None
